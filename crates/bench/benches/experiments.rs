@@ -1,0 +1,83 @@
+//! Criterion benches: one per table/figure, at smoke scale.
+//!
+//! These double as regression tests for the experiment pipelines: every
+//! bench runs the same code as `exp -- <id>` on miniature replicas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neutron_bench::{exp, Setup};
+use std::hint::black_box;
+
+fn bench_experiment(c: &mut Criterion, id: &'static str) {
+    let mut group = c.benchmark_group("paper-experiments");
+    // The heavier experiments take seconds per iteration at smoke scale;
+    // keep criterion at its minimum sampling effort.
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function(id, |b| {
+        b.iter(|| black_box(exp::run(id, Setup::Smoke).expect("known experiment")));
+    });
+    group.finish();
+}
+
+fn fig02(c: &mut Criterion) {
+    bench_experiment(c, "fig2");
+}
+fn table2(c: &mut Criterion) {
+    bench_experiment(c, "table2");
+}
+fn table3(c: &mut Criterion) {
+    bench_experiment(c, "table3");
+}
+fn fig06(c: &mut Criterion) {
+    bench_experiment(c, "fig6");
+}
+fn fig07(c: &mut Criterion) {
+    bench_experiment(c, "fig7");
+}
+fn fig10(c: &mut Criterion) {
+    bench_experiment(c, "fig10");
+}
+fn fig11(c: &mut Criterion) {
+    bench_experiment(c, "fig11");
+}
+fn fig12(c: &mut Criterion) {
+    bench_experiment(c, "fig12");
+}
+fn fig13(c: &mut Criterion) {
+    bench_experiment(c, "fig13");
+}
+fn fig14(c: &mut Criterion) {
+    bench_experiment(c, "fig14");
+}
+fn fig15(c: &mut Criterion) {
+    bench_experiment(c, "fig15");
+}
+fn table5(c: &mut Criterion) {
+    bench_experiment(c, "table5");
+}
+fn table6(c: &mut Criterion) {
+    bench_experiment(c, "table6");
+}
+fn fig16(c: &mut Criterion) {
+    bench_experiment(c, "fig16");
+}
+
+criterion_group!(
+    experiments,
+    fig02,
+    table2,
+    table3,
+    fig06,
+    fig07,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table5,
+    table6,
+    fig16
+);
+criterion_main!(experiments);

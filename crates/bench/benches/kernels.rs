@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the substrate kernels: matmul, sampling, the DES
+//! engine and GNN layer passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neutron_graph::generate::{rmat, RmatParams};
+use neutron_hetero::{Engine, TaskKind};
+use neutron_nn::layers::{Layer, LayerKind};
+use neutron_sample::{Fanout, NeighborSampler};
+use neutron_tensor::{init, ops};
+use std::hint::black_box;
+
+fn matmul(c: &mut Criterion) {
+    let a = init::uniform(512, 128, -1.0, 1.0, 1);
+    let b = init::uniform(128, 64, -1.0, 1.0, 2);
+    c.bench_function("tensor/matmul 512x128x64", |bench| {
+        bench.iter(|| black_box(ops::matmul(&a, &b)));
+    });
+}
+
+fn sampling(c: &mut Criterion) {
+    let g = rmat(20_000, 300_000, RmatParams::graph500(), 3);
+    let sampler = NeighborSampler::new(Fanout::paper_default(3));
+    let seeds: Vec<u32> = (0..256).collect();
+    c.bench_function("sample/3-hop 256 seeds", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            black_box(sampler.sample_batch(&g, &seeds, i))
+        });
+    });
+}
+
+fn des_engine(c: &mut Criterion) {
+    c.bench_function("hetero/DES 400-task pipeline", |bench| {
+        bench.iter(|| {
+            let mut e = Engine::new();
+            let cpu = e.add_resource("cpu", 8.0);
+            let gpu = e.add_resource("gpu", 1.0);
+            let mut prev = None;
+            for _ in 0..100 {
+                let s = e.add_task(cpu, TaskKind::Sample, 1.0, 4.0, &[]);
+                let f = e.add_task(cpu, TaskKind::GatherCollect, 0.5, 4.0, &[s]);
+                let deps: Vec<_> = prev.into_iter().chain([f]).collect();
+                let t = e.add_task(gpu, TaskKind::Train, 0.8, 0.8, &deps);
+                let _ = e.add_task(gpu, TaskKind::Other, 0.1, 0.2, &[t]);
+                prev = Some(t);
+            }
+            black_box(e.run().makespan)
+        });
+    });
+}
+
+fn gnn_layers(c: &mut Criterion) {
+    let g = rmat(5_000, 80_000, RmatParams::graph500(), 5);
+    let sampler = NeighborSampler::new(Fanout::new(vec![10]));
+    let blocks = sampler.sample_batch(&g, &(0..128).collect::<Vec<_>>(), 7);
+    let block = &blocks[0];
+    let input = init::uniform(block.num_src(), 64, -1.0, 1.0, 8);
+    for kind in [LayerKind::Gcn, LayerKind::Sage, LayerKind::Gat] {
+        let layer = Layer::new(kind, 64, 32, false, 9);
+        c.bench_function(&format!("nn/{kind:?} forward 128-dst block"), |bench| {
+            bench.iter(|| black_box(layer.forward(block, &input)));
+        });
+    }
+}
+
+criterion_group!(kernels, matmul, sampling, des_engine, gnn_layers);
+criterion_main!(kernels);

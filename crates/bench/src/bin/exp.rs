@@ -1,0 +1,46 @@
+//! Experiment runner: regenerates any table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p neutron-bench --bin exp -- all
+//! cargo run --release -p neutron-bench --bin exp -- fig10 table2
+//! cargo run --release -p neutron-bench --bin exp -- --smoke fig16
+//! ```
+
+use neutron_bench::{exp, Setup};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut setup = Setup::Paper;
+    let mut ids: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--smoke" => setup = Setup::Smoke,
+            "--paper" => setup = Setup::Paper,
+            "all" => ids.extend(exp::ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "extras" => ids.extend(exp::EXTRA_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: exp [--smoke] <experiment...|all>");
+        eprintln!("experiments: {}", exp::ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for id in ids {
+        let started = std::time::Instant::now();
+        match exp::run(&id, setup) {
+            Some(report) => {
+                writeln!(lock, "{report}").unwrap();
+                writeln!(lock, "[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64())
+                    .unwrap();
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; known: {}", exp::ALL_EXPERIMENTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

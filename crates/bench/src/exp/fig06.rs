@@ -1,0 +1,134 @@
+//! Fig 6 — (a) GPU utilization vs batch size, (b) runtime and memory vs
+//! batch size, (c) transfer volume and memory vs cache ratio (Wikipedia,
+//! 3-layer GCN, DGL-style training).
+
+use crate::util::{fmt_gb, fmt_pct, fmt_secs, render_table};
+use crate::Setup;
+use neutron_core::baselines::Case1Dgl;
+use neutron_core::orchestrator::{Lens, Orchestrator};
+use neutron_hetero::HardwareSpec;
+use neutron_nn::LayerKind;
+
+/// One batch-size point for panels (a) and (b).
+#[derive(Clone, Debug)]
+pub struct BatchPoint {
+    pub batch_size: usize,
+    pub gpu_util: f64,
+    pub runtime: f64,
+    /// Paper-scale GPU memory bytes.
+    pub memory: u64,
+}
+
+/// One cache-ratio point for panel (c).
+#[derive(Clone, Debug)]
+pub struct CachePoint {
+    pub cache_ratio: f64,
+    /// Paper-scale feature bytes transferred per epoch.
+    pub transfer: u64,
+    /// Paper-scale cache memory bytes.
+    pub memory: u64,
+}
+
+/// Panels (a)+(b): batch-size sweep.
+pub fn batch_sweep(setup: Setup) -> Vec<BatchPoint> {
+    let spec = setup.dataset("Wikipedia");
+    let hw = HardwareSpec::v100_server(1.0);
+    let sizes: Vec<usize> = match setup {
+        Setup::Paper => vec![128, 256, 512, 1024, 2048, 4096, 8192, 10_000],
+        Setup::Smoke => vec![128, 512],
+    };
+    sizes
+        .into_iter()
+        .map(|bs| {
+            let profile = crate::build_profile(setup, &spec, LayerKind::Gcn, 3, bs);
+            let lens = Lens::new(&profile);
+            let memory = lens.paper_batch_bytes(bs);
+            match (Case1Dgl { pipelined: true }).simulate_epoch(&profile, &hw) {
+                Ok(r) => BatchPoint { batch_size: bs, gpu_util: r.gpu_util, runtime: r.epoch_seconds, memory },
+                // OOM at huge batches: report zero util/time, memory demand.
+                Err(_) => BatchPoint { batch_size: bs, gpu_util: 0.0, runtime: f64::NAN, memory },
+            }
+        })
+        .collect()
+}
+
+/// Panel (c): cache-ratio sweep at fixed batch size.
+pub fn cache_sweep(setup: Setup) -> Vec<CachePoint> {
+    let spec = setup.dataset("Wikipedia");
+    let profile = crate::build_profile(setup, &spec, LayerKind::Gcn, 3, 1024);
+    let ratios = [0.0, 0.05, 0.10, 0.15, 0.20];
+    let feat_row = profile.spec.feature_row_bytes();
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let k = (ratio * profile.num_vertices as f64).round() as usize;
+            let hit = profile.presample_coverage_topk(k);
+            // Transfer: misses of every batch's bottom feature load,
+            // reported at paper scale.
+            let per_epoch: u64 = (0..profile.num_batches)
+                .map(|i| {
+                    let bytes = profile.stats(i).bottom_src() as u64 * feat_row;
+                    ((bytes as f64) * (1.0 - hit)) as u64
+                })
+                .sum();
+            let transfer = (per_epoch as f64 * profile.spec.scale) as u64;
+            let memory = (ratio * profile.spec.paper_vertices as f64) as u64 * feat_row;
+            CachePoint { cache_ratio: ratio, transfer, memory }
+        })
+        .collect()
+}
+
+/// Renders all three panels.
+pub fn run(setup: Setup) -> String {
+    let mut out = String::new();
+    let rows: Vec<Vec<String>> = batch_sweep(setup)
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.batch_size.to_string(),
+                fmt_pct(p.gpu_util),
+                if p.runtime.is_nan() { "OOM".into() } else { fmt_secs(p.runtime) },
+                fmt_gb(p.memory),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Fig 6(a,b): batch size vs GPU util / runtime / memory (Wikipedia, GCN)",
+        &["batch", "GPU util", "runtime (s)", "memory (GB)"],
+        &rows,
+    ));
+    out.push('\n');
+    let rows: Vec<Vec<String>> = cache_sweep(setup)
+        .into_iter()
+        .map(|p| {
+            vec![format!("{:.2}", p.cache_ratio), fmt_gb(p.transfer), fmt_gb(p.memory)]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Fig 6(c): cache ratio vs transfer volume / memory (Wikipedia, GCN)",
+        &["cache ratio", "transfer (GB/epoch)", "memory (GB)"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_util_and_memory_grow_with_batch_size() {
+        let pts = batch_sweep(Setup::Smoke);
+        assert!(pts.len() >= 2);
+        assert!(pts[1].gpu_util >= pts[0].gpu_util, "Fig 6a: util grows with batch");
+        assert!(pts[1].memory > pts[0].memory, "Fig 6b: memory grows with batch");
+    }
+
+    #[test]
+    fn bigger_cache_cuts_transfer_linearly_and_costs_memory() {
+        let pts = cache_sweep(Setup::Smoke);
+        assert!(pts.windows(2).all(|w| w[1].transfer <= w[0].transfer), "Fig 6c transfer");
+        assert!(pts.windows(2).all(|w| w[1].memory >= w[0].memory), "Fig 6c memory");
+        assert!(pts.last().unwrap().transfer < pts[0].transfer);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig 7 — per-layer workload (|V|, dims) and transfer volume: all layers
+//! on GPU vs the layer-based split (Reddit, 2-layer GCN, bs=10000,
+//! fanout 4).
+
+use crate::util::{fmt_gb, render_table};
+use crate::Setup;
+use neutron_core::orchestrator::Lens;
+use neutron_core::profile::{WorkloadConfig, WorkloadProfile};
+use neutron_nn::LayerKind;
+
+/// The Fig 7 comparison.
+#[derive(Clone, Debug)]
+pub struct Fig7Data {
+    /// `(layer name, |V| of the layer's inputs, dimension)` bottom-up.
+    pub layers: Vec<(String, usize, usize)>,
+    /// Paper-scale bytes moved when all layers train on the GPU (raw
+    /// bottom-layer features).
+    pub transfer_all_gpu: u64,
+    /// Paper-scale bytes moved under the layer-based split (embeddings +
+    /// backward data).
+    pub transfer_layer_based: u64,
+}
+
+/// Computes the Fig 7 quantities.
+pub fn data(setup: Setup) -> Fig7Data {
+    let spec = setup.dataset("Reddit");
+    let bs = match setup {
+        Setup::Paper => 10_000,
+        Setup::Smoke => 512,
+    };
+    let mut cfg = WorkloadConfig::paper_default(LayerKind::Gcn);
+    cfg.layers = 2;
+    cfg.batch_size = bs;
+    cfg.profiled_batches = setup.profiled_batches();
+    cfg.fanout_override = Some(vec![4, 4]);
+    let profile = WorkloadProfile::build(&spec, &cfg);
+    let lens = Lens::new(&profile);
+    // Per-layer sizes at paper scale: the replica saturates under 2-hop
+    // sampling (bottom ≈ middle ≈ whole replica), which would hide the 3x
+    // bottom/middle ratio the paper measures on the full 233k-vertex graph.
+    let sizes = lens.paper_layer_sizes(bs); // bottom-first (dst, src)
+    let (bottom_dst, bottom_src) = sizes[0];
+    let (top_dst, top_src) = sizes[1];
+    let layers = vec![
+        ("bottom (features)".to_string(), bottom_src as usize, spec.feature_dim),
+        ("middle (embeddings)".to_string(), top_src as usize, spec.hidden_dim),
+        ("output".to_string(), top_dst as usize, spec.num_classes),
+    ];
+    let feat = spec.feature_row_bytes();
+    let hid = spec.hidden_row_bytes();
+    // All layers on GPU: every bottom-layer source ships raw features.
+    let all_gpu = (bottom_src * feat as f64) as u64;
+    // Layer-based: the middle layer's inputs arrive as computed embeddings,
+    // plus the backward-pass data (aggregated neighbor representation +
+    // fresh embedding) for each bottom destination (§4.1.1).
+    let layer_based = (bottom_dst * (feat + hid) as f64) as u64;
+    Fig7Data { layers, transfer_all_gpu: all_gpu, transfer_layer_based: layer_based }
+}
+
+/// Renders Fig 7.
+pub fn run(setup: Setup) -> String {
+    let d = data(setup);
+    let mut rows: Vec<Vec<String>> = d
+        .layers
+        .iter()
+        .map(|(name, v, dim)| vec![name.clone(), v.to_string(), dim.to_string()])
+        .collect();
+    rows.push(vec!["transfer, all-on-GPU".into(), fmt_gb(d.transfer_all_gpu), "GB".into()]);
+    rows.push(vec![
+        "transfer, layer-based".into(),
+        fmt_gb(d.transfer_layer_based),
+        "GB".into(),
+    ]);
+    render_table(
+        "Fig 7: per-layer workload & transfer volume (Reddit, 2-layer GCN, fanout 4)",
+        &["layer / quantity", "|V| or GB", "dim"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_layer_has_most_vertices() {
+        // Paper: 86175 vs 28706 — bottom ≈ 3× middle at fanout 4.
+        let d = data(Setup::Smoke);
+        let bottom = d.layers[0].1;
+        let middle = d.layers[1].1;
+        assert!(bottom > middle, "bottom {bottom} vs middle {middle}");
+    }
+
+    #[test]
+    fn layer_based_split_transfers_less() {
+        // The headline of Fig 7: embeddings (+backward data) beat raw
+        // neighbor features.
+        let d = data(Setup::Smoke);
+        assert!(
+            d.transfer_layer_based < d.transfer_all_gpu,
+            "{} !< {}",
+            d.transfer_layer_based,
+            d.transfer_all_gpu
+        );
+    }
+}

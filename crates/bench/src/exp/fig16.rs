@@ -1,0 +1,109 @@
+//! Fig 16 — epoch-to-accuracy convergence: exact training vs GAS-style
+//! unbounded reuse vs NeutronOrch's bounded staleness, with GCN and GAT on
+//! the Reddit and Products convergence replicas.
+//!
+//! Unlike every other experiment, this one is *numeric*: embeddings are
+//! really reused, gradients really cut, accuracy really measured.
+
+use crate::util::render_table;
+use crate::Setup;
+use neutron_core::runner::{fig16_policies, run_convergence, ConvergenceCurve};
+use neutron_graph::DatasetSpec;
+use neutron_nn::LayerKind;
+
+/// One convergence panel (one subplot of Fig 16).
+#[derive(Clone, Debug)]
+pub struct Fig16Panel {
+    pub title: String,
+    pub curves: Vec<ConvergenceCurve>,
+}
+
+/// Computes all four panels.
+pub fn data(setup: Setup) -> Vec<Fig16Panel> {
+    let epochs = setup.convergence_epochs();
+    let super_batch = 4;
+    let cells: Vec<(LayerKind, DatasetSpec)> = vec![
+        (LayerKind::Gcn, DatasetSpec::reddit_convergence()),
+        (LayerKind::Gcn, DatasetSpec::products_convergence()),
+        (LayerKind::Gat, DatasetSpec::reddit_convergence()),
+        (LayerKind::Gat, DatasetSpec::products_convergence()),
+    ];
+    cells
+        .into_iter()
+        .map(|(kind, spec)| {
+            let curves = fig16_policies(super_batch)
+                .into_iter()
+                .map(|policy| run_convergence(&spec, kind, policy, epochs))
+                .collect();
+            Fig16Panel { title: format!("{}-{}", kind.name(), spec.name), curves }
+        })
+        .collect()
+}
+
+/// Renders Fig 16 as per-panel accuracy tables.
+pub fn run(setup: Setup) -> String {
+    let mut out = String::new();
+    for panel in data(setup) {
+        let epochs = panel.curves[0].epochs.len();
+        let marks: Vec<usize> = if epochs <= 5 {
+            (0..epochs).collect()
+        } else {
+            vec![0, epochs / 4, epochs / 2, 3 * epochs / 4, epochs - 1]
+        };
+        let headers: Vec<String> = std::iter::once("policy".to_string())
+            .chain(marks.iter().map(|e| format!("ep{e}")))
+            .chain(["best".to_string(), "max-stale".to_string()])
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = panel
+            .curves
+            .iter()
+            .map(|c| {
+                std::iter::once(c.label.to_string())
+                    .chain(marks.iter().map(|&e| format!("{:.3}", c.epochs[e].test_accuracy)))
+                    .chain([
+                        format!("{:.3}", c.best_accuracy()),
+                        c.max_staleness().to_string(),
+                    ])
+                    .collect()
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!("Fig 16: epoch-to-accuracy, {}", panel.title),
+            &header_refs,
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutron_core::trainer::ReusePolicy;
+    use neutron_core::runner;
+
+    /// A smaller single-panel variant so the test stays fast.
+    #[test]
+    fn neutronorch_tracks_exact_and_respects_bound() {
+        let spec = DatasetSpec::reddit_convergence();
+        let epochs = 8;
+        let exact = runner::run_convergence(&spec, LayerKind::Gcn, ReusePolicy::Exact, epochs);
+        let ours = runner::run_convergence(
+            &spec,
+            LayerKind::Gcn,
+            ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch: 4 },
+            epochs,
+        );
+        assert!(exact.best_accuracy() > 0.55, "exact must learn: {}", exact.best_accuracy());
+        // Paper: accuracy loss no more than 1%; allow replica slack.
+        assert!(
+            ours.best_accuracy() > exact.best_accuracy() - 0.05,
+            "ours {} vs exact {}",
+            ours.best_accuracy(),
+            exact.best_accuracy()
+        );
+        assert!(ours.max_staleness() < 8, "bound 2n-1 = 7 violated: {}", ours.max_staleness());
+    }
+}

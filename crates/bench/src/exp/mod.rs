@@ -1,0 +1,67 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig02`] | Fig 2 — utilization + runtime of the orchestration methods |
+//! | [`table2`] | Table 2 — DGL sample/gather breakdown on all datasets |
+//! | [`table3`] | Table 3 — pipeline effect under CPU/GPU sampling |
+//! | [`fig06`] | Fig 6 — batch size & cache ratio effects |
+//! | [`fig07`] | Fig 7 — per-layer workload & transfer, layer-based split |
+//! | [`fig10`] | Fig 10 — overall single-GPU comparison |
+//! | [`fig11`] | Fig 11 — multi-GPU scaling |
+//! | [`fig12`] | Fig 12 — ablation ladder |
+//! | [`fig13`] | Fig 13 — cache policy memory/transfer |
+//! | [`fig14`] | Fig 14 — GPU training time savings |
+//! | [`fig15`] | Fig 15 — utilization on Lj-large and Orkut |
+//! | [`table5`] | Table 5 — model depth sweep |
+//! | [`table6`] | Table 6 — batch size sweep |
+//! | [`fig16`] | Fig 16 — epoch-to-accuracy convergence |
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig06;
+pub mod fig07;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod table2;
+pub mod table3;
+pub mod table5;
+pub mod table6;
+
+/// Every paper table/figure id accepted by the `exp` binary.
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "fig2", "table2", "table3", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "table5", "table6", "fig16",
+];
+
+/// Extension experiments beyond the paper (design-choice ablations).
+pub const EXTRA_EXPERIMENTS: [&str; 2] = ["abl-superbatch", "abl-hotratio"];
+
+/// Runs one experiment by id, returning its rendered report.
+pub fn run(id: &str, setup: crate::Setup) -> Option<String> {
+    let out = match id {
+        "fig2" => fig02::run(setup),
+        "table2" => table2::run(setup),
+        "table3" => table3::run(setup),
+        "fig6" => fig06::run(setup),
+        "fig7" => fig07::run(setup),
+        "fig10" => fig10::run(setup),
+        "fig11" => fig11::run(setup),
+        "fig12" => fig12::run(setup),
+        "fig13" => fig13::run(setup),
+        "fig14" => fig14::run(setup),
+        "fig15" => fig15::run(setup),
+        "table5" => table5::run(setup),
+        "table6" => table6::run(setup),
+        "fig16" => fig16::run(setup),
+        "abl-superbatch" => ablations::run_superbatch(setup),
+        "abl-hotratio" => ablations::run_hotratio(setup),
+        _ => return None,
+    };
+    Some(out)
+}

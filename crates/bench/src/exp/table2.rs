@@ -1,0 +1,91 @@
+//! Table 2 — runtime breakdown of the sample and gather steps on DGL
+//! (Case 1) across all six datasets, 3-layer GCN.
+
+use crate::util::{fmt_secs, render_table};
+use crate::Setup;
+use neutron_core::baselines::Case1Dgl;
+use neutron_core::Orchestrator;
+use neutron_hetero::HardwareSpec;
+use neutron_nn::LayerKind;
+
+/// One dataset row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Sampling seconds and share of total.
+    pub sample: (f64, f64),
+    /// Feature-collection seconds and share.
+    pub gather_fc: (f64, f64),
+    /// Feature-transfer seconds and share.
+    pub gather_ft: (f64, f64),
+    /// Total epoch seconds.
+    pub total: f64,
+}
+
+/// Computes Table 2.
+pub fn data(setup: Setup) -> Vec<Table2Row> {
+    let hw = HardwareSpec::v100_server(1.0);
+    setup
+        .datasets()
+        .iter()
+        .map(|spec| {
+            let profile = crate::build_profile(setup, spec, LayerKind::Gcn, 3, 1024);
+            let r = Case1Dgl { pipelined: false }
+                .simulate_epoch(&profile, &hw)
+                .expect("DGL fits on every replica at bs 1024");
+            let total = r.epoch_seconds;
+            Table2Row {
+                dataset: spec.name,
+                sample: (r.sample_seconds, r.sample_seconds / total),
+                gather_fc: (r.gather_collect_seconds, r.gather_collect_seconds / total),
+                gather_ft: (r.transfer_seconds, r.transfer_seconds / total),
+                total,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2.
+pub fn run(setup: Setup) -> String {
+    let rows: Vec<Vec<String>> = data(setup)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                format!("{}/{:.0}%", fmt_secs(r.sample.0), r.sample.1 * 100.0),
+                format!("{}/{:.0}%", fmt_secs(r.gather_fc.0), r.gather_fc.1 * 100.0),
+                format!("{}/{:.0}%", fmt_secs(r.gather_ft.0), r.gather_ft.1 * 100.0),
+                fmt_secs(r.total),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 2: DGL sample/gather breakdown (3-layer GCN, replica scale)",
+        &["Dataset", "Sample", "Gather (FC)", "Gather (FT)", "Total"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_dominates_like_the_paper() {
+        // Paper: sampling ≈ 19%, gathering ≈ 61% of DGL's epoch; FC is the
+        // single largest cost. Check the ordering, not the digits.
+        let rows = data(Setup::Smoke);
+        assert_eq!(rows.len(), 6);
+        let mut fc_dominant = 0;
+        for r in &rows {
+            assert!(r.total > 0.0);
+            if r.gather_fc.0 + r.gather_ft.0 > r.sample.0 {
+                fc_dominant += 1;
+            }
+            let share_sum = r.sample.1 + r.gather_fc.1 + r.gather_ft.1;
+            assert!(share_sum <= 1.01, "shares cannot exceed total: {share_sum}");
+        }
+        assert!(fc_dominant >= 4, "gather should dominate sampling on most datasets");
+    }
+}

@@ -1,0 +1,188 @@
+//! Versioned historical-embedding store (§4.1.2 / §4.2.2).
+//!
+//! Each entry records the model-parameter **version** (batch counter) it was
+//! computed under. Reads report their version gap; an optional hard bound
+//! turns excessive staleness into an error instead of silent accuracy loss —
+//! the property that distinguishes NeutronOrch from GAS in Fig 16.
+
+use neutron_graph::VertexId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A read rejected because the entry exceeded the staleness bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleReadError {
+    /// Vertex whose embedding was requested.
+    pub vertex: VertexId,
+    /// Version the embedding was computed at.
+    pub version: u64,
+    /// Version at the time of the read.
+    pub now: u64,
+    /// Configured bound.
+    pub bound: u64,
+}
+
+impl fmt::Display for StaleReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "embedding of v{} has version gap {} (computed@{}, read@{}), bound {}",
+            self.vertex,
+            self.now - self.version,
+            self.version,
+            self.now,
+            self.bound
+        )
+    }
+}
+
+impl std::error::Error for StaleReadError {}
+
+/// Versioned per-vertex embedding rows.
+#[derive(Clone, Debug)]
+pub struct EmbeddingStore {
+    dim: usize,
+    bound: Option<u64>,
+    entries: HashMap<VertexId, (Vec<f32>, u64)>,
+    max_observed_gap: u64,
+    reads: u64,
+}
+
+impl EmbeddingStore {
+    /// Store for `dim`-dimensional embeddings. `bound = Some(b)` makes any
+    /// read with version gap `> b` an error (NeutronOrch sets `b = 2n−1`);
+    /// `None` allows unbounded reuse (GAS-like).
+    pub fn new(dim: usize, bound: Option<u64>) -> Self {
+        Self { dim, bound, entries: HashMap::new(), max_observed_gap: 0, reads: 0 }
+    }
+
+    /// Inserts/refreshes the embedding of `v` computed at `version`.
+    pub fn put(&mut self, v: VertexId, row: Vec<f32>, version: u64) {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        self.entries.insert(v, (row, version));
+    }
+
+    /// Reads `v`'s embedding at current version `now`, recording the gap.
+    /// Returns `Ok(None)` when no embedding exists.
+    pub fn get(&mut self, v: VertexId, now: u64) -> Result<Option<(&[f32], u64)>, StaleReadError> {
+        match self.entries.get(&v) {
+            None => Ok(None),
+            Some((row, version)) => {
+                let gap = now.saturating_sub(*version);
+                if let Some(bound) = self.bound {
+                    if gap > bound {
+                        return Err(StaleReadError { vertex: v, version: *version, now, bound });
+                    }
+                }
+                self.reads += 1;
+                self.max_observed_gap = self.max_observed_gap.max(gap);
+                Ok(Some((row.as_slice(), gap)))
+            }
+        }
+    }
+
+    /// Drops every entry older than `cutoff` — NeutronOrch's super-batch
+    /// retirement ("historical embeddings from the previous super-batch are
+    /// only accessible within the current super-batch").
+    pub fn evict_older_than(&mut self, cutoff: u64) {
+        self.entries.retain(|_, (_, version)| *version >= cutoff);
+    }
+
+    /// Number of stored embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest version gap any successful read observed.
+    pub fn max_observed_gap(&self) -> u64 {
+        self.max_observed_gap
+    }
+
+    /// Number of successful reads (embedding reuses).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bytes held (entries × dim × 4).
+    pub fn bytes(&self) -> u64 {
+        (self.entries.len() * self.dim * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_with_gap() {
+        let mut s = EmbeddingStore::new(3, Some(5));
+        s.put(7, vec![1.0, 2.0, 3.0], 10);
+        let (row, gap) = s.get(7, 12).unwrap().unwrap();
+        assert_eq!(row, &[1.0, 2.0, 3.0]);
+        assert_eq!(gap, 2);
+        assert_eq!(s.max_observed_gap(), 2);
+        assert_eq!(s.reads(), 1);
+    }
+
+    #[test]
+    fn missing_vertex_is_none_not_error() {
+        let mut s = EmbeddingStore::new(2, Some(1));
+        assert_eq!(s.get(0, 100).unwrap(), None);
+    }
+
+    #[test]
+    fn bound_violation_is_an_error() {
+        let mut s = EmbeddingStore::new(1, Some(3));
+        s.put(1, vec![0.5], 0);
+        assert!(s.get(1, 3).is_ok());
+        let err = s.get(1, 4).unwrap_err();
+        assert_eq!(err.bound, 3);
+        assert_eq!(err.now - err.version, 4);
+        // A failed read must not pollute the observed-gap statistics.
+        assert_eq!(s.max_observed_gap(), 3);
+    }
+
+    #[test]
+    fn unbounded_store_accepts_any_gap() {
+        let mut s = EmbeddingStore::new(1, None);
+        s.put(1, vec![0.1], 0);
+        let (_, gap) = s.get(1, 1_000_000).unwrap().unwrap();
+        assert_eq!(gap, 1_000_000);
+    }
+
+    #[test]
+    fn eviction_retires_old_versions() {
+        let mut s = EmbeddingStore::new(1, None);
+        s.put(1, vec![0.0], 5);
+        s.put(2, vec![0.0], 9);
+        s.evict_older_than(6);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(1, 10).unwrap().is_none());
+        assert!(s.get(2, 10).unwrap().is_some());
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut s = EmbeddingStore::new(4, None);
+        s.put(0, vec![0.0; 4], 0);
+        s.put(1, vec![0.0; 4], 0);
+        assert_eq!(s.bytes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let mut s = EmbeddingStore::new(2, None);
+        s.put(0, vec![0.0; 3], 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! GPU feature-cache bookkeeping (hit/miss accounting under a byte budget).
+
+use crate::policy::CacheRanking;
+use neutron_graph::VertexId;
+
+/// A static GPU feature cache: the top-ranked vertices that fit in the byte
+/// budget. Tracks hit/miss counts for transfer-volume accounting (Fig 6c,
+/// Fig 13).
+#[derive(Clone, Debug)]
+pub struct FeatureCache {
+    cached: Vec<bool>,
+    num_cached: usize,
+    row_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl FeatureCache {
+    /// Fills the cache from `ranking` until `budget_bytes` is exhausted.
+    pub fn fill(ranking: &CacheRanking, num_vertices: usize, row_bytes: u64, budget_bytes: u64) -> Self {
+        let capacity = budget_bytes.checked_div(row_bytes).unwrap_or(0) as usize;
+        let mut cached = vec![false; num_vertices];
+        let mut num_cached = 0;
+        for &v in ranking.top(capacity) {
+            if !cached[v as usize] {
+                cached[v as usize] = true;
+                num_cached += 1;
+            }
+        }
+        Self { cached, num_cached, row_bytes, hits: 0, misses: 0 }
+    }
+
+    /// Number of cached vertices.
+    pub fn len(&self) -> usize {
+        self.num_cached
+    }
+
+    /// True when nothing fits.
+    pub fn is_empty(&self) -> bool {
+        self.num_cached == 0
+    }
+
+    /// Cached fraction of all vertices (the paper's "cache ratio").
+    pub fn cache_ratio(&self) -> f64 {
+        if self.cached.is_empty() {
+            0.0
+        } else {
+            self.num_cached as f64 / self.cached.len() as f64
+        }
+    }
+
+    /// Bytes the cache occupies on the device.
+    pub fn bytes(&self) -> u64 {
+        self.num_cached as u64 * self.row_bytes
+    }
+
+    /// Records an access; returns true on hit.
+    pub fn access(&mut self, v: VertexId) -> bool {
+        if self.cached[v as usize] {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Records a batch of accesses, returning the number of misses.
+    pub fn access_all(&mut self, vs: &[VertexId]) -> u64 {
+        let mut miss = 0;
+        for &v in vs {
+            if !self.access(v) {
+                miss += 1;
+            }
+        }
+        miss
+    }
+
+    /// Hit rate over all recorded accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CachePolicy, PreSamplePolicy};
+    use neutron_sample::HotnessRanking;
+
+    fn ranking() -> CacheRanking {
+        // hotness: v1 > v2 > v0 > v3
+        let h = HotnessRanking::from_counts(vec![2, 9, 5, 0]);
+        // Leak-free: build via policy to keep types simple.
+        let r = PreSamplePolicy::new(&h).rank();
+        r
+    }
+
+    #[test]
+    fn budget_limits_cached_vertices() {
+        let r = ranking();
+        let cache = FeatureCache::fill(&r, 4, 100, 250);
+        assert_eq!(cache.len(), 2, "250 B / 100 B rows = 2 slots");
+        assert_eq!(cache.bytes(), 200);
+        assert!((cache.cache_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hottest_vertices_occupy_the_slots() {
+        let r = ranking();
+        let mut cache = FeatureCache::fill(&r, 4, 100, 250);
+        assert!(cache.access(1));
+        assert!(cache.access(2));
+        assert!(!cache.access(0));
+        assert!(!cache.access(3));
+        assert_eq!(cache.counters(), (2, 2));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let r = ranking();
+        let mut cache = FeatureCache::fill(&r, 4, 100, 0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.access_all(&[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn oversized_budget_caches_everything() {
+        let r = ranking();
+        let cache = FeatureCache::fill(&r, 4, 100, 10_000);
+        assert_eq!(cache.len(), 4);
+        assert!((cache.cache_ratio() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Hybrid hot-vertex processing (§4.1.3).
+//!
+//! NeutronOrch splits the hot set between **CPU embedding computation** and
+//! **GPU feature caching**: when the GPU has spare memory and is idling on
+//! CPU-side work, hot vertices shift to the GPU cache; when GPU memory is
+//! tight (or idle time reaches zero), they stay on the CPU. Embeddings are
+//! smaller than features (hidden_dim < feature_dim), which is where the
+//! Fig 13 memory savings come from.
+
+use neutron_sample::HotSet;
+use neutron_graph::VertexId;
+
+/// Outcome of the hybrid split.
+#[derive(Clone, Debug)]
+pub struct HybridPlan {
+    /// Hot vertices whose embeddings the CPU computes and the GPU reuses.
+    pub cpu_compute: Vec<VertexId>,
+    /// Hot vertices whose raw features are cached in GPU memory.
+    pub gpu_cache: Vec<VertexId>,
+    /// GPU bytes consumed: cached features + staged hot embeddings.
+    pub gpu_bytes: u64,
+}
+
+impl HybridPlan {
+    /// Fraction of the hot set assigned to CPU computation.
+    pub fn cpu_fraction(&self) -> f64 {
+        let total = self.cpu_compute.len() + self.gpu_cache.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.cpu_compute.len() as f64 / total as f64
+        }
+    }
+}
+
+/// The adaptive splitter.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridPolicy {
+    /// Bytes of one raw feature row.
+    pub feature_row_bytes: u64,
+    /// Bytes of one embedding row (hidden dim).
+    pub embedding_row_bytes: u64,
+}
+
+impl HybridPolicy {
+    /// Plans the split. `gpu_idle_fraction` is the measured share of GPU
+    /// time spent waiting on CPU embedding work; `gpu_free_bytes` is what
+    /// the memory ledger has left after topology/batch allocations.
+    ///
+    /// Rules from §4.1.3:
+    /// - move hot vertices from CPU to GPU cache while the GPU is idle
+    ///   (idle time > 0) **and** memory remains;
+    /// - stop when memory is exhausted or idle time reaches zero.
+    pub fn plan(&self, hot: &HotSet, gpu_idle_fraction: f64, gpu_free_bytes: u64) -> HybridPlan {
+        assert!((0.0..=1.0).contains(&gpu_idle_fraction));
+        // Idleness decides the *target* share moved to the GPU: fully idle
+        // GPU (waiting on the CPU) pulls the whole hot set into its cache;
+        // zero idle keeps everything on the CPU.
+        let want_gpu = (hot.len() as f64 * gpu_idle_fraction).round() as usize;
+        // Memory caps the move; every cached vertex also frees the staging
+        // slot its embedding would have used, so charge the net difference.
+        let per_vertex = self.feature_row_bytes;
+        let fit_gpu =
+            gpu_free_bytes.checked_div(per_vertex).map_or(usize::MAX, |n| n as usize);
+        let to_gpu = want_gpu.min(fit_gpu).min(hot.len());
+        // The *least* hot of the hot set go to the GPU cache: the hottest
+        // vertices are reused most, so CPU-computing them saves the most
+        // repeated GPU work per embedding update.
+        let cpu_fraction = 1.0 - to_gpu as f64 / hot.len().max(1) as f64;
+        let (cpu_compute, gpu_cache) = hot.split_cpu_gpu(cpu_fraction);
+        let gpu_bytes = gpu_cache.len() as u64 * self.feature_row_bytes
+            + cpu_compute.len() as u64 * self.embedding_row_bytes;
+        HybridPlan { cpu_compute, gpu_cache, gpu_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutron_sample::HotnessRanking;
+
+    fn hot_set(n: usize, ratio: f64) -> HotSet {
+        let counts: Vec<u32> = (0..n as u32).rev().collect();
+        HotnessRanking::from_counts(counts).hot_set(ratio)
+    }
+
+    fn policy() -> HybridPolicy {
+        HybridPolicy { feature_row_bytes: 400, embedding_row_bytes: 100 }
+    }
+
+    #[test]
+    fn zero_idle_keeps_everything_on_cpu() {
+        let hot = hot_set(100, 0.2);
+        let plan = policy().plan(&hot, 0.0, u64::MAX);
+        assert_eq!(plan.cpu_compute.len(), 20);
+        assert!(plan.gpu_cache.is_empty());
+        assert!((plan.cpu_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_idle_with_memory_moves_all_to_gpu() {
+        let hot = hot_set(100, 0.2);
+        let plan = policy().plan(&hot, 1.0, u64::MAX);
+        assert!(plan.cpu_compute.is_empty());
+        assert_eq!(plan.gpu_cache.len(), 20);
+    }
+
+    #[test]
+    fn memory_caps_the_gpu_share() {
+        let hot = hot_set(100, 0.2);
+        // Room for only 5 feature rows.
+        let plan = policy().plan(&hot, 1.0, 5 * 400);
+        assert_eq!(plan.gpu_cache.len(), 5);
+        assert_eq!(plan.cpu_compute.len(), 15);
+    }
+
+    #[test]
+    fn hottest_vertices_stay_on_cpu() {
+        let hot = hot_set(10, 1.0);
+        let plan = policy().plan(&hot, 0.5, u64::MAX);
+        // counts were descending by id, so vertex 0 is hottest.
+        assert!(plan.cpu_compute.contains(&0));
+        assert!(!plan.gpu_cache.contains(&0));
+    }
+
+    #[test]
+    fn gpu_bytes_mix_features_and_embeddings() {
+        let hot = hot_set(10, 1.0);
+        let plan = policy().plan(&hot, 0.5, u64::MAX);
+        let expect = plan.gpu_cache.len() as u64 * 400 + plan.cpu_compute.len() as u64 * 100;
+        assert_eq!(plan.gpu_bytes, expect);
+    }
+
+    #[test]
+    fn empty_hot_set_is_fine() {
+        let hot = hot_set(10, 0.0);
+        let plan = policy().plan(&hot, 0.7, 1000);
+        assert_eq!(plan.cpu_fraction(), 0.0);
+        assert_eq!(plan.gpu_bytes, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Cache vertex rankings.
+
+use neutron_graph::{degree, Csr, VertexId};
+use neutron_sample::HotnessRanking;
+
+/// Which vertices deserve cache slots, best first.
+#[derive(Clone, Debug)]
+pub struct CacheRanking {
+    order: Vec<VertexId>,
+    label: &'static str,
+}
+
+impl CacheRanking {
+    /// Ranked vertices, best candidate first.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Policy label for reports ("Degree" / "PreSample").
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Top `k` candidates.
+    pub fn top(&self, k: usize) -> &[VertexId] {
+        &self.order[..k.min(self.order.len())]
+    }
+}
+
+/// A cache policy produces a [`CacheRanking`].
+pub trait CachePolicy {
+    /// Ranks all vertices, best cache candidate first.
+    fn rank(&self) -> CacheRanking;
+}
+
+/// PaGraph's static degree-based policy: high out-degree vertices are the
+/// most likely to be sampled as neighbors.
+pub struct DegreePolicy<'a> {
+    graph: &'a Csr,
+}
+
+impl<'a> DegreePolicy<'a> {
+    /// Ranks by degree in `graph`.
+    pub fn new(graph: &'a Csr) -> Self {
+        Self { graph }
+    }
+}
+
+impl CachePolicy for DegreePolicy<'_> {
+    fn rank(&self) -> CacheRanking {
+        CacheRanking { order: degree::vertices_by_degree_desc(self.graph), label: "Degree" }
+    }
+}
+
+/// GNNLab's pre-sampling policy: rank by measured access frequency.
+pub struct PreSamplePolicy<'a> {
+    hotness: &'a HotnessRanking,
+}
+
+impl<'a> PreSamplePolicy<'a> {
+    /// Ranks by a pre-computed hotness estimate.
+    pub fn new(hotness: &'a HotnessRanking) -> Self {
+        Self { hotness }
+    }
+}
+
+impl CachePolicy for PreSamplePolicy<'_> {
+    fn rank(&self) -> CacheRanking {
+        CacheRanking { order: self.hotness.order().to_vec(), label: "PreSample" }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutron_graph::generate::{rmat, RmatParams};
+
+    #[test]
+    fn degree_policy_ranks_hubs_first() {
+        let g = rmat(300, 4000, RmatParams::graph500(), 1);
+        let ranking = DegreePolicy::new(&g).rank();
+        assert_eq!(ranking.label(), "Degree");
+        let order = ranking.order();
+        assert!(g.degree(order[0]) >= g.degree(order[299]));
+        assert_eq!(ranking.top(5).len(), 5);
+    }
+
+    #[test]
+    fn presample_policy_follows_hotness() {
+        let h = HotnessRanking::from_counts(vec![1, 5, 3]);
+        let ranking = PreSamplePolicy::new(&h).rank();
+        assert_eq!(ranking.order(), &[1, 2, 0]);
+        assert_eq!(ranking.label(), "PreSample");
+    }
+
+    #[test]
+    fn top_clamps_to_population() {
+        let h = HotnessRanking::from_counts(vec![1, 2]);
+        let ranking = PreSamplePolicy::new(&h).rank();
+        assert_eq!(ranking.top(10).len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Step-based baseline orchestrators (the four cases of §3) plus the two
+//! historical-embedding / multi-GPU comparators.
+
+pub mod dsp;
+pub mod gas;
+pub mod step_based;
+
+pub use dsp::DspLike;
+pub use gas::GasLike;
+pub use step_based::{Case1Dgl, Case2DglUva, Case3PaGraph, Case4GnnLab};
+
+use crate::sim::ScheduleBuilder;
+use neutron_hetero::{HardwareSpec, ResourceId};
+
+/// The standard single-GPU resource layout.
+pub(crate) struct SingleGpuParts {
+    pub sched: ScheduleBuilder,
+    pub cpu: ResourceId,
+    pub gpu: ResourceId,
+    pub h2d: ResourceId,
+    #[allow(dead_code)]
+    pub d2h: ResourceId,
+}
+
+/// Registers cpu / gpu / pcie resources for a single-GPU machine.
+pub(crate) fn single_gpu_parts(hw: &HardwareSpec) -> SingleGpuParts {
+    let mut sched = ScheduleBuilder::new();
+    let cpu = sched.resource("cpu", hw.cpu.cores);
+    let gpu = sched.resource("gpu0", 1.0);
+    let h2d = sched.resource("h2d0", hw.pcie.bandwidth);
+    let d2h = sched.resource("d2h0", hw.pcie.bandwidth);
+    SingleGpuParts { sched, cpu, gpu, h2d, d2h }
+}
+
+/// Mean utilization across all resources whose name starts with `prefix`.
+pub(crate) fn mean_util(run: &neutron_hetero::RunReport, prefix: &str) -> f64 {
+    let vals: Vec<f64> = run
+        .resource_names
+        .iter()
+        .zip(&run.utilization)
+        .filter(|(n, _)| n.starts_with(prefix))
+        .map(|(_, &u)| u)
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}

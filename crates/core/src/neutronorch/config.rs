@@ -1,0 +1,113 @@
+//! NeutronOrch feature flags — the ablation axes of Fig 12.
+
+/// Which of NeutronOrch's four techniques are enabled.
+///
+/// Fig 12 builds them up cumulatively: the baseline is a step-based
+/// orchestrator (GPU sampling, CPU gather, GPU training); `+L` moves the
+/// bottom layer to the CPU; `+HE` restricts CPU work to hot vertices with
+/// bounded-staleness reuse; `+HH` splits hot vertices between CPU compute
+/// and GPU caching; `+S` overlaps everything with super-batch pipelining.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeutronOrchConfig {
+    /// L — layer-based task orchestrating (§4.1.1).
+    pub layer_based: bool,
+    /// HE — hotness-aware embedding reuse (§4.1.2). Requires `layer_based`.
+    pub hotness_reuse: bool,
+    /// HH — hybrid hot-vertex processing (§4.1.3). Requires `hotness_reuse`.
+    pub hybrid: bool,
+    /// S — super-batch pipelined training (§4.2). Requires `hotness_reuse`.
+    pub super_batch_pipeline: bool,
+}
+
+impl NeutronOrchConfig {
+    /// Fig 12's "Baseline": step-based, no NeutronOrch techniques.
+    pub fn baseline() -> Self {
+        Self { layer_based: false, hotness_reuse: false, hybrid: false, super_batch_pipeline: false }
+    }
+
+    /// Baseline + L.
+    pub fn plus_l() -> Self {
+        Self { layer_based: true, ..Self::baseline() }
+    }
+
+    /// Baseline + L + HE.
+    pub fn plus_l_he() -> Self {
+        Self { layer_based: true, hotness_reuse: true, ..Self::baseline() }
+    }
+
+    /// Baseline + L + HE + HH.
+    pub fn plus_l_he_hh() -> Self {
+        Self { layer_based: true, hotness_reuse: true, hybrid: true, super_batch_pipeline: false }
+    }
+
+    /// The full system (all four techniques) — what "NeutronOrch" means in
+    /// every other figure.
+    pub fn full() -> Self {
+        Self { layer_based: true, hotness_reuse: true, hybrid: true, super_batch_pipeline: true }
+    }
+
+    /// All five ablation stages in Fig 12 order, with their labels.
+    pub fn ablation_ladder() -> Vec<(&'static str, Self)> {
+        vec![
+            ("Baseline", Self::baseline()),
+            ("+L", Self::plus_l()),
+            ("+L+HE", Self::plus_l_he()),
+            ("+L+HE+HH", Self::plus_l_he_hh()),
+            ("+L+HE+HH+S", Self::full()),
+        ]
+    }
+
+    /// Validates flag implications.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hotness_reuse && !self.layer_based {
+            return Err("hotness reuse requires layer-based orchestration".into());
+        }
+        if self.hybrid && !self.hotness_reuse {
+            return Err("hybrid processing requires hotness reuse".into());
+        }
+        if self.super_batch_pipeline && !self.hotness_reuse {
+            return Err("super-batch pipelining requires hotness reuse".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NeutronOrchConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_features() {
+        let ladder = NeutronOrchConfig::ablation_ladder();
+        assert_eq!(ladder.len(), 5);
+        for (_, cfg) in &ladder {
+            cfg.validate().unwrap();
+        }
+        assert_eq!(ladder[0].1, NeutronOrchConfig::baseline());
+        assert_eq!(ladder[4].1, NeutronOrchConfig::full());
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let bad = NeutronOrchConfig {
+            layer_based: false,
+            hotness_reuse: true,
+            hybrid: false,
+            super_batch_pipeline: false,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = NeutronOrchConfig {
+            layer_based: true,
+            hotness_reuse: false,
+            hybrid: true,
+            super_batch_pipeline: false,
+        };
+        assert!(bad2.validate().is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! NeutronOrch: hotness-aware layer-based task orchestration with
+//! super-batch pipelined training (§4).
+
+mod config;
+mod sim;
+
+pub use config::NeutronOrchConfig;
+pub use sim::NeutronOrch;

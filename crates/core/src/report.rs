@@ -1,0 +1,112 @@
+//! Per-epoch simulation reports.
+
+use neutron_hetero::{RunReport, TaskKind};
+
+/// Everything an orchestrator reports about one simulated epoch — the raw
+/// material for every table and figure of the evaluation.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// System label ("DGL", "NeutronOrch", …).
+    pub system: String,
+    /// Simulated wall-clock of the epoch, seconds.
+    pub epoch_seconds: f64,
+    /// CPU pool busy fraction.
+    pub cpu_util: f64,
+    /// GPU busy fraction (mean across GPUs).
+    pub gpu_util: f64,
+    /// Busy seconds of the sample step.
+    pub sample_seconds: f64,
+    /// Busy seconds of host-side feature collection ("Gather (FC)").
+    pub gather_collect_seconds: f64,
+    /// Busy seconds of host↔device transfer ("Gather (FT)").
+    pub transfer_seconds: f64,
+    /// Busy seconds of GPU training.
+    pub train_seconds: f64,
+    /// Busy seconds of CPU historical-embedding computation.
+    pub hot_embed_seconds: f64,
+    /// Bytes moved host→device during the epoch.
+    pub h2d_bytes: u64,
+    /// Peak GPU memory across the epoch (max over GPUs).
+    pub gpu_mem_peak: u64,
+    /// Batches in the epoch.
+    pub num_batches: usize,
+}
+
+impl EpochReport {
+    /// Assembles a report from an engine run plus memory/transfer tallies.
+    pub fn from_run(
+        system: impl Into<String>,
+        run: &RunReport,
+        cpu_util: f64,
+        gpu_util: f64,
+        h2d_bytes: u64,
+        gpu_mem_peak: u64,
+        num_batches: usize,
+    ) -> Self {
+        Self {
+            system: system.into(),
+            epoch_seconds: run.makespan,
+            cpu_util,
+            gpu_util,
+            sample_seconds: run.busy(TaskKind::Sample),
+            gather_collect_seconds: run.busy(TaskKind::GatherCollect),
+            transfer_seconds: run.busy(TaskKind::Transfer),
+            train_seconds: run.busy(TaskKind::Train),
+            hot_embed_seconds: run.busy(TaskKind::HotEmbed),
+            h2d_bytes,
+            gpu_mem_peak,
+            num_batches,
+        }
+    }
+
+    /// Speedup of `self` over `other` (other / self).
+    pub fn speedup_over(&self, other: &EpochReport) -> f64 {
+        other.epoch_seconds / self.epoch_seconds
+    }
+
+    /// Gather share of the epoch (FC + FT), as reported in Table 2.
+    pub fn gather_seconds(&self) -> f64 {
+        self.gather_collect_seconds + self.transfer_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutron_hetero::{Engine, TaskKind};
+
+    #[test]
+    fn from_run_extracts_kind_breakdown() {
+        let mut e = Engine::new();
+        let cpu = e.add_resource("cpu", 1.0);
+        let a = e.add_task(cpu, TaskKind::Sample, 1.0, 1.0, &[]);
+        let b = e.add_task(cpu, TaskKind::GatherCollect, 2.0, 1.0, &[a]);
+        e.add_task(cpu, TaskKind::Transfer, 0.5, 1.0, &[b]);
+        let run = e.run();
+        let r = EpochReport::from_run("X", &run, 1.0, 0.0, 42, 7, 3);
+        assert!((r.sample_seconds - 1.0).abs() < 1e-9);
+        assert!((r.gather_seconds() - 2.5).abs() < 1e-9);
+        assert!((r.epoch_seconds - 3.5).abs() < 1e-9);
+        assert_eq!(r.h2d_bytes, 42);
+        assert_eq!(r.gpu_mem_peak, 7);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_epochs() {
+        let mk = |secs: f64| EpochReport {
+            system: "s".into(),
+            epoch_seconds: secs,
+            cpu_util: 0.0,
+            gpu_util: 0.0,
+            sample_seconds: 0.0,
+            gather_collect_seconds: 0.0,
+            transfer_seconds: 0.0,
+            train_seconds: 0.0,
+            hot_embed_seconds: 0.0,
+            h2d_bytes: 0,
+            gpu_mem_peak: 0,
+            num_batches: 1,
+        };
+        assert!((mk(2.0).speedup_over(&mk(8.0)) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Edge-stream graph builder.
+
+use crate::csr::{Csr, VertexId};
+
+/// Accumulates an edge stream and finalises it into a [`Csr`].
+///
+/// Edges are interpreted as `src -> dst`; the resulting CSR stores, for each
+/// vertex, its list of *in*-neighbors (aggregation sources). Self-loops and
+/// duplicate edges can optionally be removed at build time.
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    symmetric: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// New builder over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            symmetric: false,
+            dedup: true,
+            drop_self_loops: true,
+        }
+    }
+
+    /// Also insert the reverse of every edge (undirected input).
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Remove duplicate edges at build time (default: true).
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove self-loops at build time (default: true). GNN layers add the
+    /// self contribution explicitly, so stored self-loops would double it.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Adds a directed edge `src -> dst`.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!((src as usize) < self.num_vertices);
+        debug_assert!((dst as usize) < self.num_vertices);
+        self.edges.push((src, dst));
+    }
+
+    /// Number of edges currently buffered (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises into CSR (in-neighbor orientation).
+    pub fn build(mut self) -> Csr {
+        if self.symmetric {
+            let rev: Vec<_> = self.edges.iter().map(|&(s, d)| (d, s)).collect();
+            self.edges.extend(rev);
+        }
+        if self.drop_self_loops {
+            self.edges.retain(|&(s, d)| s != d);
+        }
+        // Bucket by destination: CSR rows are in-neighbor lists.
+        let n = self.num_vertices;
+        let mut counts = vec![0u64; n + 1];
+        for &(_, d) in &self.edges {
+            counts[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets_raw = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; self.edges.len()];
+        for &(s, d) in &self.edges {
+            let slot = cursor[d as usize];
+            targets[slot as usize] = s;
+            cursor[d as usize] += 1;
+        }
+        if !self.dedup {
+            return Csr::from_raw(offsets_raw, targets);
+        }
+        // Sort + dedup each row, then rebuild offsets.
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u64);
+        let mut new_targets = Vec::with_capacity(targets.len());
+        for v in 0..n {
+            let row = &mut targets[offsets_raw[v] as usize..offsets_raw[v + 1] as usize];
+            row.sort_unstable();
+            let mut prev: Option<VertexId> = None;
+            for &t in row.iter() {
+                if prev != Some(t) {
+                    new_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            new_offsets.push(new_targets.len() as u64);
+        }
+        Csr::from_raw(new_offsets, new_targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_neighbor_orientation() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.pending_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn dedup_disabled_keeps_multiplicity() {
+        let mut b = GraphBuilder::new(2).dedup(false);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn symmetric_adds_reverse_edges() {
+        let mut b = GraphBuilder::new(2).symmetric(true);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rows_are_sorted_after_build() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 0);
+        b.add_edge(1, 0);
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+}

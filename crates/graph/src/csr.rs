@@ -1,0 +1,213 @@
+//! Immutable compressed-sparse-row graph storage.
+
+/// Vertex identifier. `u32` keeps CSR buffers compact (the perf-book's
+/// "smaller integers" advice); all replica graphs fit comfortably.
+pub type VertexId = u32;
+
+/// An immutable directed graph in CSR form.
+///
+/// `offsets[v]..offsets[v+1]` indexes into `targets`, listing the
+/// **incoming** neighbors of `v` — the direction GNN aggregation pulls from
+/// (Equation 1 of the paper aggregates over `N_in(v)`). Undirected inputs
+/// are stored with both edge directions.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-vertex adjacency lists (used by tests and the
+    /// builder; prefer [`crate::GraphBuilder`] for edge streams).
+    pub fn from_adjacency(adj: Vec<Vec<VertexId>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        for list in adj {
+            for t in &list {
+                assert!((*t as usize) < n, "target {t} out of range (n={n})");
+            }
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len() as u64);
+        }
+        Self { offsets, targets }
+    }
+
+    /// Constructs from raw CSR buffers, validating invariants.
+    pub fn from_raw(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(*offsets.first().unwrap(), 0);
+        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
+        let n = offsets.len() - 1;
+        assert!(targets.iter().all(|&t| (t as usize) < n), "target out of range");
+        Self { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Incoming neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.num_vertices() as f64
+    }
+
+    /// Returns the graph with all edges reversed.
+    pub fn reverse(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut counts = vec![0u64; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        for v in 0..n {
+            for &t in self.neighbors(v as VertexId) {
+                let slot = cursor[t as usize];
+                targets[slot as usize] = v as VertexId;
+                cursor[t as usize] += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Bytes occupied by the topology buffers. This is what the simulator's
+    /// memory ledger charges when a system stores topology on the GPU.
+    pub fn topology_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+
+    /// Iterator over all `(src_of_aggregation, dst)` pairs, i.e. `(u, v)`
+    /// where `u ∈ N_in(v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.neighbors(v as VertexId).iter().map(move |&u| (u, v as VertexId))
+        })
+    }
+
+    /// Checks structural invariants; used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("empty offsets".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] != 0".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+            return Err("last offset != targets.len()".into());
+        }
+        if !self.offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        let n = self.num_vertices();
+        if let Some(&t) = self.targets.iter().find(|&&t| t as usize >= n) {
+            return Err(format!("target {t} out of range"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 stored as in-neighbors:
+        Csr::from_adjacency(vec![vec![], vec![0], vec![0], vec![1, 2]])
+    }
+
+    #[test]
+    fn counts_match_structure() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn reverse_flips_every_edge() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.neighbors(0), &[1, 2]); // 1,2 aggregate from 0
+        assert_eq!(r.neighbors(1), &[3]);
+        let rr = r.reverse();
+        for v in 0..g.num_vertices() {
+            let mut a = g.neighbors(v as VertexId).to_vec();
+            let mut b = rr.neighbors(v as VertexId).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_pairs() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn validate_accepts_good_graph() {
+        assert!(diamond().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_adjacency_rejects_bad_target() {
+        let _ = Csr::from_adjacency(vec![vec![5]]);
+    }
+
+    #[test]
+    fn topology_bytes_counts_both_buffers() {
+        let g = diamond();
+        assert_eq!(g.topology_bytes(), (5 * 8 + 4 * 4) as u64);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Csr::from_adjacency(vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Barabási–Albert preferential attachment generator.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Barabási–Albert graph: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+///
+/// Produces the power-law in-degree tail of citation networks; used for the
+/// Papers100M replica.
+pub fn barabasi_albert(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> Csr {
+    assert!(num_vertices > edges_per_vertex, "graph too small for attachment count");
+    assert!(edges_per_vertex >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = edges_per_vertex;
+    let mut builder = GraphBuilder::new(num_vertices).symmetric(true);
+    // `endpoints` holds every edge endpoint seen so far; sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * num_vertices * m);
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=m {
+        for j in 0..i {
+            builder.add_edge(i as VertexId, j as VertexId);
+            endpoints.push(i as VertexId);
+            endpoints.push(j as VertexId);
+        }
+    }
+    for v in (m + 1)..num_vertices {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v as VertexId && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let g = barabasi_albert(200, 3, 1);
+        // Seed clique: C(4,2)=6 undirected; then 196 vertices * 3 edges.
+        let undirected = 6 + 196 * 3;
+        assert_eq!(g.num_edges(), 2 * undirected);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn every_vertex_is_connected() {
+        let g = barabasi_albert(100, 2, 2);
+        for v in 0..100 {
+            assert!(g.degree(v) >= 2, "vertex {v} under-connected");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = barabasi_albert(3000, 2, 3);
+        let max_deg = (0..3000).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "expected hub vertices: max {max_deg} vs avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(150, 2, 9);
+        let b = barabasi_albert(150, 2, 9);
+        for v in 0..150 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

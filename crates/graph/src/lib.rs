@@ -1,0 +1,26 @@
+//! Graph substrate for the NeutronOrch reproduction.
+//!
+//! Stores graphs in immutable CSR form, synthesises scaled replicas of the
+//! paper's six evaluation datasets (Table 4), and provides vertex
+//! partitioning for the multi-GPU experiments.
+//!
+//! The paper trains on Reddit, Lj-large, Orkut, Wikipedia, Products and
+//! Papers100M. Those datasets (up to 111M vertices / 1.6B edges) are gated
+//! behind downloads and host-memory sizes this reproduction does not assume,
+//! so [`dataset::DatasetSpec`] generates *scaled replicas*: R-MAT /
+//! stochastic-block-model graphs with the same average degree, degree skew,
+//! feature dimension and class count, at a recorded `scale` factor. The
+//! hardware simulator shrinks device memories by the same factor, preserving
+//! every capacity-driven effect (cache ratios, OOMs) at laptop scale.
+
+pub mod builder;
+pub mod csr;
+pub mod dataset;
+pub mod degree;
+pub mod features;
+pub mod generate;
+pub mod partition;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, VertexId};
+pub use dataset::{Dataset, DatasetSpec};

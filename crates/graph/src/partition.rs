@@ -1,0 +1,113 @@
+//! Vertex partitioning for multi-GPU training (Fig 11 / DSP-style).
+
+use crate::csr::{Csr, VertexId};
+
+/// Assignment of each vertex to a partition in `[0, parts)`.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub parts: usize,
+    pub assignment: Vec<u32>,
+}
+
+impl Partition {
+    /// Vertices owned by `part`.
+    pub fn members(&self, part: usize) -> Vec<VertexId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &p)| (p as usize == part).then_some(v as VertexId))
+            .collect()
+    }
+
+    /// Sizes of all partitions.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Fraction of edges crossing partitions — the multi-GPU communication
+    /// driver in DSP-style cooperative sampling.
+    pub fn edge_cut_fraction(&self, g: &Csr) -> f64 {
+        let mut cut = 0usize;
+        let mut total = 0usize;
+        for (u, v) in g.edges() {
+            total += 1;
+            if self.assignment[u as usize] != self.assignment[v as usize] {
+                cut += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            cut as f64 / total as f64
+        }
+    }
+}
+
+/// Hash (round-robin) partitioning — what DGL/DSP default to for feature
+/// sharding across GPUs.
+pub fn hash_partition(num_vertices: usize, parts: usize) -> Partition {
+    assert!(parts >= 1);
+    Partition {
+        parts,
+        assignment: (0..num_vertices).map(|v| (v % parts) as u32).collect(),
+    }
+}
+
+/// Contiguous range partitioning — what chunked feature stores use.
+pub fn range_partition(num_vertices: usize, parts: usize) -> Partition {
+    assert!(parts >= 1);
+    let chunk = num_vertices.div_ceil(parts);
+    Partition {
+        parts,
+        assignment: (0..num_vertices).map(|v| (v / chunk.max(1)).min(parts - 1) as u32).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::erdos_renyi;
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let p = hash_partition(103, 4);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn range_partition_is_contiguous() {
+        let p = range_partition(100, 4);
+        assert_eq!(p.assignment[0], 0);
+        assert_eq!(p.assignment[99], 3);
+        assert_eq!(p.sizes(), vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn members_round_trip() {
+        let p = hash_partition(10, 3);
+        let m0 = p.members(0);
+        assert!(m0.iter().all(|&v| v % 3 == 0));
+    }
+
+    #[test]
+    fn edge_cut_reasonable_for_random_graph() {
+        let g = erdos_renyi(400, 4000, 1);
+        let p = hash_partition(400, 4);
+        let cut = p.edge_cut_fraction(&g);
+        // Random graph + hash partition: expected cut = 1 - 1/parts = 0.75.
+        assert!((cut - 0.75).abs() < 0.1, "cut {cut}");
+    }
+
+    #[test]
+    fn single_partition_has_no_cut() {
+        let g = erdos_renyi(50, 400, 2);
+        let p = range_partition(50, 1);
+        assert_eq!(p.edge_cut_fraction(&g), 0.0);
+    }
+}

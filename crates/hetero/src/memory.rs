@@ -1,0 +1,155 @@
+//! Static GPU/host memory accounting.
+//!
+//! Memory is not a rate resource: either the working set fits or the run
+//! dies with OOM, exactly like the "OOM" cells in Fig 10/11 and Tables 5/6.
+//! Orchestrators allocate named regions before an epoch; the ledger rejects
+//! over-subscription and reports the peak.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Allocation failure: the device would exceed its capacity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OomError {
+    /// Region that could not be allocated.
+    pub region: String,
+    /// Bytes requested for the region.
+    pub requested: u64,
+    /// Bytes still free when the request arrived.
+    pub available: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OOM allocating '{}': requested {} B, {} B free of {} B",
+            self.region, self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// A named-region memory ledger for one device.
+#[derive(Clone, Debug)]
+pub struct MemLedger {
+    capacity: u64,
+    regions: BTreeMap<String, u64>,
+}
+
+impl MemLedger {
+    /// Ledger over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, regions: BTreeMap::new() }
+    }
+
+    /// Allocates (or grows) a named region. Fails with [`OomError`] if the
+    /// total would exceed capacity.
+    pub fn alloc(&mut self, region: impl Into<String>, bytes: u64) -> Result<(), OomError> {
+        let region = region.into();
+        let current = self.regions.get(&region).copied().unwrap_or(0);
+        let new_used = self.used() - current + bytes.max(current);
+        let grown = bytes.saturating_sub(current);
+        if self.used() + grown > self.capacity {
+            return Err(OomError {
+                region,
+                requested: grown,
+                available: self.available(),
+                capacity: self.capacity,
+            });
+        }
+        let _ = new_used;
+        self.regions.insert(region, bytes.max(current));
+        Ok(())
+    }
+
+    /// Frees a region entirely (no-op if absent).
+    pub fn free(&mut self, region: &str) {
+        self.regions.remove(region);
+    }
+
+    /// Bytes currently used.
+    pub fn used(&self) -> u64 {
+        self.regions.values().sum()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Size of a region (0 if absent).
+    pub fn region(&self, name: &str) -> u64 {
+        self.regions.get(name).copied().unwrap_or(0)
+    }
+
+    /// All regions, name-sorted (deterministic reports).
+    pub fn regions(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.regions.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = MemLedger::new(1000);
+        m.alloc("topology", 400).unwrap();
+        m.alloc("cache", 500).unwrap();
+        assert_eq!(m.used(), 900);
+        assert_eq!(m.available(), 100);
+        m.free("cache");
+        assert_eq!(m.used(), 400);
+    }
+
+    #[test]
+    fn oversubscription_is_oom_not_panic() {
+        let mut m = MemLedger::new(100);
+        m.alloc("a", 80).unwrap();
+        let err = m.alloc("b", 30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        assert!(err.to_string().contains("OOM"));
+        // Failed alloc must not corrupt state.
+        assert_eq!(m.used(), 80);
+    }
+
+    #[test]
+    fn regrow_only_charges_the_delta() {
+        let mut m = MemLedger::new(100);
+        m.alloc("batch", 60).unwrap();
+        // Growing the same region to 90 needs 30 more, which fits.
+        m.alloc("batch", 90).unwrap();
+        assert_eq!(m.used(), 90);
+        // Shrinking requests keep the high-water mark (peak accounting).
+        m.alloc("batch", 10).unwrap();
+        assert_eq!(m.region("batch"), 90);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut m = MemLedger::new(50);
+        m.alloc("x", 50).unwrap();
+        assert_eq!(m.available(), 0);
+        assert!(m.alloc("y", 1).is_err());
+    }
+
+    #[test]
+    fn regions_iterates_sorted() {
+        let mut m = MemLedger::new(100);
+        m.alloc("b", 1).unwrap();
+        m.alloc("a", 2).unwrap();
+        let names: Vec<&str> = m.regions().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Batch loss: softmax cross-entropy over seed vertices.
+
+use neutron_tensor::softmax::{softmax_cross_entropy, softmax_cross_entropy_grad};
+use neutron_tensor::Matrix;
+
+/// Loss value plus gradient w.r.t. the logits.
+pub struct LossResult {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// `∂L/∂logits`, same shape as the logits.
+    pub d_logits: Matrix,
+}
+
+/// Computes mean softmax cross-entropy of `logits` against `labels`
+/// (Algorithm 1, line 13) and its gradient.
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> LossResult {
+    let sce = softmax_cross_entropy(logits, labels);
+    let d_logits = softmax_cross_entropy_grad(&sce.probs, labels);
+    LossResult { loss: sce.loss, d_logits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_decreases_along_negative_gradient() {
+        let logits = Matrix::from_rows(&[&[0.1, 0.2, -0.1], &[0.0, 0.5, 0.5]]);
+        let labels = [0usize, 2];
+        let r = cross_entropy(&logits, &labels);
+        // One explicit gradient step on the logits should reduce the loss.
+        let mut stepped = logits.clone();
+        neutron_tensor::ops::add_scaled_assign(&mut stepped, -1.0, &r.d_logits);
+        let r2 = cross_entropy(&stepped, &labels);
+        assert!(r2.loss < r.loss, "{} !< {}", r2.loss, r.loss);
+    }
+
+    #[test]
+    fn gradient_shape_matches_logits() {
+        let logits = Matrix::zeros(3, 7);
+        let r = cross_entropy(&logits, &[0, 1, 2]);
+        assert_eq!(r.d_logits.shape(), (3, 7));
+        assert!((r.loss - (7.0f32).ln()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Adam optimizer.
+
+use super::Optimizer;
+use crate::param::Param;
+use neutron_tensor::Matrix;
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the reference
+/// GNN systems default to; used by the convergence experiments' GAT runs.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<(Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0);
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.moments.is_empty() {
+            self.moments = params
+                .iter()
+                .map(|p| {
+                    let (r, c) = p.value.shape();
+                    (Matrix::zeros(r, c), Matrix::zeros(r, c))
+                })
+                .collect();
+        }
+        assert_eq!(self.moments.len(), params.len(), "param list must be stable");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (p, (m, v)) in params.iter_mut().zip(&mut self.moments) {
+            for ((w, g), (mm, vv)) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mm / b1t;
+                let v_hat = *vv / b2t;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(w) = (w - 3)^2, grad = 2(w - 3).
+        let mut p = Param::new(Matrix::from_rows(&[&[0.0]]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let w = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (w - 3.0));
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 0.05, "got {}", p.value.get(0, 0));
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        let mut p = Param::new(Matrix::from_rows(&[&[1.0]]));
+        p.grad.set(0, 0, 10.0); // any positive gradient
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        // Bias-corrected first step ≈ lr regardless of gradient magnitude.
+        assert!((1.0 - p.value.get(0, 0) - 0.01).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,21 @@
+//! Optimizers.
+
+pub mod adam;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use sgd::Sgd;
+
+use crate::param::Param;
+
+/// A first-order optimizer stepping a parameter list in place.
+///
+/// Parameters must be passed in a stable order across steps (Adam keeps
+/// per-slot moment state).
+pub trait Optimizer {
+    /// Applies one update step from the accumulated gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+}

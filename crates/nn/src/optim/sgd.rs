@@ -1,0 +1,56 @@
+//! Stochastic gradient descent.
+
+use super::Optimizer;
+use crate::param::Param;
+use neutron_tensor::ops;
+
+/// Plain SGD — `W ← W − η·∇W` (Algorithm 1, line 16). The convergence
+/// analysis of §4.3 is stated for SGD, so the staleness experiments use it.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0);
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params {
+            ops::add_scaled_assign(&mut p.value, -self.lr, &p.grad);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutron_tensor::Matrix;
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut p = Param::new(Matrix::from_rows(&[&[1.0, -1.0]]));
+        p.grad = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) - 0.95).abs() < 1e-6);
+        assert!((p.value.get(0, 1) + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_means_no_motion() {
+        let mut p = Param::new(Matrix::from_rows(&[&[2.0]]));
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.get(0, 0), 2.0);
+    }
+}

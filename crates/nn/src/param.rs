@@ -1,0 +1,62 @@
+//! Trainable parameters.
+
+use neutron_tensor::Matrix;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Zeroes the gradient (start of a batch).
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True for empty parameters (never expected in practice).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Bytes of the value buffer; model-size accounting for the simulator.
+    pub fn nbytes(&self) -> usize {
+        self.value.nbytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_same_shape() {
+        let p = Param::new(Matrix::full(2, 3, 1.0));
+        assert_eq!(p.grad.shape(), (2, 3));
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.nbytes(), 24);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+}

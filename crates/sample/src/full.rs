@@ -1,0 +1,103 @@
+//! Full-neighbor (unsampled) block construction.
+//!
+//! Inference and historical-embedding refreshes want exact aggregation over
+//! *all* in-neighbors rather than a sampled subset; this builder produces
+//! the same [`Block`] structure with every neighbor included (optionally
+//! capped for pathological hubs).
+
+use crate::block::Block;
+use neutron_graph::{Csr, VertexId};
+use std::collections::HashMap;
+
+/// Builds multi-hop full-neighbor blocks, bottom-first (same contract as
+/// [`crate::NeighborSampler::sample_batch`]). `cap` bounds per-vertex
+/// neighbor lists (`usize::MAX` = exact); capped vertices take a
+/// deterministic prefix, keeping inference reproducible.
+pub fn full_blocks(g: &Csr, seeds: &[VertexId], layers: usize, cap: usize) -> Vec<Block> {
+    assert!(layers >= 1);
+    let mut blocks = Vec::with_capacity(layers);
+    let mut frontier: Vec<VertexId> = seeds.to_vec();
+    for _ in 0..layers {
+        let block = full_one_hop(g, &frontier, cap);
+        frontier = block.src().to_vec();
+        blocks.push(block);
+    }
+    blocks.reverse();
+    blocks
+}
+
+/// One full-neighbor hop.
+pub fn full_one_hop(g: &Csr, frontier: &[VertexId], cap: usize) -> Block {
+    let dst: Vec<VertexId> = frontier.to_vec();
+    let mut src: Vec<VertexId> = dst.clone();
+    let mut local: HashMap<VertexId, u32> =
+        dst.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let mut offsets = Vec::with_capacity(dst.len() + 1);
+    offsets.push(0u32);
+    let mut indices = Vec::new();
+    for &v in &dst {
+        let neigh = g.neighbors(v);
+        let take = neigh.len().min(cap);
+        for &u in &neigh[..take] {
+            let next = src.len() as u32;
+            let idx = *local.entry(u).or_insert_with(|| {
+                src.push(u);
+                next
+            });
+            indices.push(idx);
+        }
+        offsets.push(indices.len() as u32);
+    }
+    Block::new(dst, src, offsets, indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutron_graph::generate::erdos_renyi;
+
+    #[test]
+    fn uncapped_block_includes_every_neighbor() {
+        let g = erdos_renyi(100, 1200, 1);
+        let blocks = full_blocks(&g, &[0, 1, 2], 1, usize::MAX);
+        let b = &blocks[0];
+        for i in 0..b.num_dst() {
+            assert_eq!(b.sampled_degree(i), g.degree(b.dst()[i]));
+        }
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn cap_limits_hub_expansion_deterministically() {
+        let g = erdos_renyi(200, 8000, 2);
+        let a = full_blocks(&g, &[5], 2, 3);
+        let b = full_blocks(&g, &[5], 2, 3);
+        assert_eq!(a[0].src(), b[0].src(), "capped prefix must be deterministic");
+        for blocks in [&a, &b] {
+            for block in blocks.iter() {
+                for i in 0..block.num_dst() {
+                    assert!(block.sampled_degree(i) <= 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_chain_like_sampled_ones() {
+        let g = erdos_renyi(80, 600, 3);
+        let blocks = full_blocks(&g, &[1, 2], 3, usize::MAX);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[2].dst(), &[1, 2]);
+        assert_eq!(blocks[1].dst(), blocks[2].src());
+        assert_eq!(blocks[0].dst(), blocks[1].src());
+    }
+
+    #[test]
+    fn full_one_hop_matches_graph_exactly() {
+        let g = Csr::from_adjacency(vec![vec![1, 2], vec![2], vec![]]);
+        let b = full_one_hop(&g, &[0], usize::MAX);
+        assert_eq!(b.num_dst(), 1);
+        assert_eq!(b.num_src(), 3);
+        assert_eq!(b.num_edges(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Hotness rankings and hot-vertex sets (§4.1.2).
+
+use neutron_graph::VertexId;
+
+/// Per-vertex access frequencies plus the descending-hotness order.
+#[derive(Clone, Debug)]
+pub struct HotnessRanking {
+    counts: Vec<u32>,
+    order: Vec<VertexId>,
+}
+
+impl HotnessRanking {
+    /// Builds a ranking from raw access counts (index = vertex id).
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        let mut order: Vec<VertexId> = (0..counts.len() as u32).collect();
+        // Stable tie-break on vertex id keeps rankings deterministic.
+        order.sort_by_key(|&v| (std::cmp::Reverse(counts[v as usize]), v));
+        Self { counts, order }
+    }
+
+    /// Access count of vertex `v`.
+    pub fn count(&self, v: VertexId) -> u32 {
+        self.counts[v as usize]
+    }
+
+    /// All vertices in descending hotness order.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Selects the hottest `ratio` fraction of vertices ("hot vertex ratio",
+    /// §4.1.2; the paper reports datasets supporting 10%–30%).
+    pub fn hot_set(&self, ratio: f64) -> HotSet {
+        assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} out of [0,1]");
+        let k = (self.counts.len() as f64 * ratio).round() as usize;
+        let hot: Vec<VertexId> = self.order[..k.min(self.order.len())].to_vec();
+        let mut is_hot = vec![false; self.counts.len()];
+        for &v in &hot {
+            is_hot[v as usize] = true;
+        }
+        HotSet { hot, is_hot, ratio }
+    }
+
+    /// Fraction of all recorded accesses that fall on the given hot set —
+    /// the cache-hit / CPU-reuse rate that the orchestrators feed into the
+    /// cost model.
+    pub fn access_coverage(&self, hot: &HotSet) -> f64 {
+        let total: u64 = self.counts.iter().map(|&c| c as u64).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = hot.hot.iter().map(|&v| self.counts[v as usize] as u64).sum();
+        covered as f64 / total as f64
+    }
+}
+
+/// A selected set of hot vertices.
+#[derive(Clone, Debug)]
+pub struct HotSet {
+    hot: Vec<VertexId>,
+    is_hot: Vec<bool>,
+    ratio: f64,
+}
+
+impl HotSet {
+    /// Hot vertices in descending hotness order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.hot
+    }
+
+    /// Number of hot vertices.
+    pub fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// True if no vertices are hot.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.is_hot[v as usize]
+    }
+
+    /// The ratio this set was selected with.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Splits the hot set into a CPU-computed prefix and GPU-cached suffix
+    /// at `cpu_fraction` — the §4.1.3 hybrid worklist split. The hottest
+    /// vertices go to the CPU: their embeddings are reused most often, so
+    /// computing them once per super-batch saves the most GPU work.
+    pub fn split_cpu_gpu(&self, cpu_fraction: f64) -> (Vec<VertexId>, Vec<VertexId>) {
+        assert!((0.0..=1.0).contains(&cpu_fraction));
+        let k = (self.hot.len() as f64 * cpu_fraction).round() as usize;
+        (self.hot[..k].to_vec(), self.hot[k..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_descending_with_stable_ties() {
+        let r = HotnessRanking::from_counts(vec![3, 9, 9, 1]);
+        assert_eq!(r.order(), &[1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn hot_set_selects_top_ratio() {
+        let r = HotnessRanking::from_counts(vec![5, 1, 10, 0, 7]);
+        let hot = r.hot_set(0.4);
+        assert_eq!(hot.len(), 2);
+        assert!(hot.contains(2));
+        assert!(hot.contains(4));
+        assert!(!hot.contains(0));
+    }
+
+    #[test]
+    fn coverage_is_share_of_accesses() {
+        let r = HotnessRanking::from_counts(vec![8, 1, 1]);
+        let hot = r.hot_set(1.0 / 3.0);
+        assert!((r.access_coverage(&hot) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_zero_and_one_edge_cases() {
+        let r = HotnessRanking::from_counts(vec![1, 2, 3]);
+        assert!(r.hot_set(0.0).is_empty());
+        assert_eq!(r.hot_set(1.0).len(), 3);
+        assert!((r.access_coverage(&r.hot_set(1.0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_gpu_split_partitions_hot_set() {
+        let r = HotnessRanking::from_counts(vec![4, 3, 2, 1]);
+        let hot = r.hot_set(1.0);
+        let (cpu, gpu) = hot.split_cpu_gpu(0.5);
+        assert_eq!(cpu, vec![0, 1]);
+        assert_eq!(gpu, vec![2, 3]);
+        let (all_cpu, none) = hot.split_cpu_gpu(1.0);
+        assert_eq!(all_cpu.len(), 4);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Scoped-thread row partitioning for the matmul kernels.
+//!
+//! The workspace deliberately avoids a thread-pool dependency; matmuls over
+//! vertex batches are embarrassingly parallel over rows, so chunking the
+//! output buffer across `crossbeam` scoped threads is sufficient. Small
+//! matrices stay single-threaded to avoid spawn overhead.
+
+/// Row count below which kernels run single-threaded.
+pub const PAR_ROW_THRESHOLD: usize = 256;
+
+/// Maximum number of worker threads used by a single kernel.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Splits `out` (a `rows x cols` row-major buffer) into contiguous row
+/// chunks and invokes `f(first_row_index, chunk)` for each, possibly in
+/// parallel. `f` must be pure per-chunk (chunks are disjoint).
+pub fn for_each_row_chunk<F>(out: &mut [f32], cols: usize, rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * cols.max(1));
+    if cols == 0 || rows == 0 {
+        return;
+    }
+    let threads = max_threads();
+    if rows < PAR_ROW_THRESHOLD || threads <= 1 {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| f(idx * chunk_rows, chunk));
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_path_visits_all_rows() {
+        let rows = 10;
+        let cols = 3;
+        let mut buf = vec![0.0f32; rows * cols];
+        for_each_row_chunk(&mut buf, cols, rows, |row0, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                row.fill((row0 + i) as f32);
+            }
+        });
+        for r in 0..rows {
+            assert_eq!(buf[r * cols], r as f32);
+        }
+    }
+
+    #[test]
+    fn parallel_path_visits_all_rows_exactly_once() {
+        let rows = PAR_ROW_THRESHOLD * 3 + 7;
+        let cols = 2;
+        let mut buf = vec![0.0f32; rows * cols];
+        for_each_row_chunk(&mut buf, cols, rows, |row0, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row0 + i) as f32 + 1.0;
+                }
+            }
+        });
+        for r in 0..rows {
+            assert_eq!(buf[r * cols], r as f32 + 1.0, "row {r} written wrong number of times");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_a_noop() {
+        let mut buf: Vec<f32> = vec![];
+        for_each_row_chunk(&mut buf, 0, 0, |_, _| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Row softmax and softmax-cross-entropy, numerically stabilised.
+
+use crate::matrix::Matrix;
+
+/// Row-wise softmax with the standard max-subtraction stabilisation.
+pub fn row_softmax(z: &Matrix) -> Matrix {
+    let mut out = z.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Result of a fused softmax-cross-entropy forward pass.
+pub struct SoftmaxCrossEntropy {
+    /// Mean negative log-likelihood over rows.
+    pub loss: f32,
+    /// Softmax probabilities, kept for the backward pass.
+    pub probs: Matrix,
+}
+
+/// Computes mean cross-entropy of logits `z` against integer `labels`.
+pub fn softmax_cross_entropy(z: &Matrix, labels: &[usize]) -> SoftmaxCrossEntropy {
+    assert_eq!(z.rows(), labels.len(), "one label per row required");
+    let probs = row_softmax(z);
+    let mut loss = 0.0;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < z.cols(), "label {y} out of range for {} classes", z.cols());
+        loss -= probs.get(r, y).max(1e-12).ln();
+    }
+    SoftmaxCrossEntropy { loss: loss / labels.len().max(1) as f32, probs }
+}
+
+/// Gradient of mean softmax-cross-entropy w.r.t. the logits:
+/// `(softmax(z) − one_hot(y)) / batch`.
+pub fn softmax_cross_entropy_grad(probs: &Matrix, labels: &[usize]) -> Matrix {
+    assert_eq!(probs.rows(), labels.len());
+    let batch = labels.len().max(1) as f32;
+    let mut grad = probs.clone();
+    for (r, &y) in labels.iter().enumerate() {
+        let row = grad.row_mut(r);
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v /= batch;
+        }
+    }
+    grad
+}
+
+/// Row-wise argmax; used for predictions.
+pub fn row_argmax(z: &Matrix) -> Vec<usize> {
+    (0..z.rows())
+        .map(|r| {
+            z.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let z = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = row_softmax(&z);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let z = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let shifted = Matrix::from_rows(&[&[101.0, 102.0, 103.0]]);
+        assert!(row_softmax(&z).approx_eq(&row_softmax(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let z = Matrix::from_rows(&[&[1000.0, 999.0]]);
+        let p = row_softmax(&z);
+        assert!(p.all_finite());
+        assert!(p.get(0, 0) > p.get(0, 1));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_near_zero() {
+        let z = Matrix::from_rows(&[&[100.0, 0.0], &[0.0, 100.0]]);
+        let sce = softmax_cross_entropy(&z, &[0, 1]);
+        assert!(sce.loss < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_k() {
+        let z = Matrix::zeros(4, 8);
+        let sce = softmax_cross_entropy(&z, &[0, 1, 2, 3]);
+        assert!((sce.loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let z = Matrix::from_rows(&[&[0.5, -0.2, 0.1], &[1.0, 0.0, -1.0]]);
+        let labels = [2usize, 0];
+        let sce = softmax_cross_entropy(&z, &labels);
+        let grad = softmax_cross_entropy_grad(&sce.probs, &labels);
+        let h = 1e-2f32;
+        for r in 0..z.rows() {
+            for c in 0..z.cols() {
+                let mut zp = z.clone();
+                zp.set(r, c, z.get(r, c) + h);
+                let mut zm = z.clone();
+                zm.set(r, c, z.get(r, c) - h);
+                let numeric = (softmax_cross_entropy(&zp, &labels).loss
+                    - softmax_cross_entropy(&zm, &labels).loss)
+                    / (2.0 * h);
+                assert!(
+                    (grad.get(r, c) - numeric).abs() < 1e-3,
+                    "grad[{r},{c}] {} vs numeric {numeric}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let z = Matrix::from_rows(&[&[0.3, 0.2, 0.5]]);
+        let sce = softmax_cross_entropy(&z, &[1]);
+        let g = softmax_cross_entropy_grad(&sce.probs, &[1]);
+        let s: f32 = g.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let z = Matrix::from_rows(&[&[0.1, 0.9], &[5.0, -1.0]]);
+        assert_eq!(row_argmax(&z), vec![1, 0]);
+    }
+}

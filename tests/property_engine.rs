@@ -1,0 +1,117 @@
+//! Property tests of the discrete-event processor-sharing engine: physical
+//! conservation laws that must hold for any task system.
+
+use neutronorch::hetero::{Engine, TaskKind};
+use proptest::prelude::*;
+
+/// A randomly generated task: `(resource idx, work, demand, dep offset)`.
+type RawTask = (u8, f64, f64, Option<u8>);
+
+fn tasks() -> impl Strategy<Value = Vec<RawTask>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            0.01f64..10.0,
+            0.1f64..8.0,
+            proptest::option::of(1u8..8),
+        ),
+        1..40,
+    )
+}
+
+fn build(raw: &[RawTask]) -> (Engine, Vec<f64>) {
+    let mut e = Engine::new();
+    let caps = [4.0, 1.0, 6.0];
+    let r: Vec<_> = caps.iter().enumerate().map(|(i, &c)| e.add_resource(format!("r{i}"), c)).collect();
+    let mut ids = Vec::new();
+    for (i, &(res, work, demand, dep)) in raw.iter().enumerate() {
+        let deps: Vec<_> = match dep {
+            Some(off) => {
+                let j = i.saturating_sub(off as usize);
+                if j < i { vec![ids[j]] } else { vec![] }
+            }
+            None => vec![],
+        };
+        ids.push(e.add_task(r[res as usize % 3], TaskKind::Other, work, demand, &deps));
+    }
+    (e, caps.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan can never beat the critical path or the per-resource
+    /// work/capacity bound, and utilization stays within [0, 1].
+    #[test]
+    fn conservation_laws(raw in tasks()) {
+        let (mut e, caps) = build(&raw);
+        let cp = e.critical_path();
+        let report = e.run();
+        prop_assert!(report.makespan.is_finite());
+        prop_assert!(report.makespan + 1e-6 >= cp, "makespan {} < critical path {}", report.makespan, cp);
+        for &u in &report.utilization {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        // Work conservation per resource: total work / capacity ≤ makespan.
+        for (ri, &cap) in caps.iter().enumerate() {
+            let total_work: f64 = raw
+                .iter()
+                .filter(|t| (t.0 as usize % 3) == ri)
+                .map(|t| t.1)
+                .sum();
+            prop_assert!(
+                report.makespan + 1e-6 >= total_work / cap,
+                "resource {ri}: makespan {} < work bound {}",
+                report.makespan,
+                total_work / cap
+            );
+        }
+    }
+
+    /// Fully serialising every task (one global chain) upper-bounds any
+    /// dependency structure: overlap can exhibit small scheduling
+    /// anomalies, but never loses to strict serial execution.
+    ///
+    /// (Note: "removing dependencies always helps" is *not* a theorem under
+    /// processor sharing — proptest found a Graham-style anomaly where
+    /// freeing tasks earlier changed the sharing pattern and slightly
+    /// delayed the critical task.)
+    #[test]
+    fn serial_execution_upper_bounds_any_schedule(raw in tasks()) {
+        let (mut any_deps, caps) = build(&raw);
+        let makespan = any_deps.run().makespan;
+        let serial_sum: f64 = raw
+            .iter()
+            .map(|&(res, work, demand, _)| {
+                work / demand.min(caps[res as usize % 3])
+            })
+            .sum();
+        prop_assert!(makespan <= serial_sum + 1e-6, "{makespan} > serial {serial_sum}");
+    }
+
+    /// Doubling every capacity can only help.
+    #[test]
+    fn more_capacity_never_hurts(raw in tasks()) {
+        let (mut base, _) = build(&raw);
+        let slow = base.run().makespan;
+        let mut fast_engine = Engine::new();
+        let r: Vec<_> = [8.0, 2.0, 12.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| fast_engine.add_resource(format!("r{i}"), c))
+            .collect();
+        let mut ids = Vec::new();
+        for (i, &(res, work, demand, dep)) in raw.iter().enumerate() {
+            let deps: Vec<_> = match dep {
+                Some(off) => {
+                    let j = i.saturating_sub(off as usize);
+                    if j < i { vec![ids[j]] } else { vec![] }
+                }
+                None => vec![],
+            };
+            ids.push(fast_engine.add_task(r[res as usize % 3], TaskKind::Other, work, demand, &deps));
+        }
+        let fast = fast_engine.run().makespan;
+        prop_assert!(fast <= slow + 1e-6, "{fast} > {slow}");
+    }
+}

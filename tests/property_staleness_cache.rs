@@ -1,0 +1,109 @@
+//! Property tests of the bounded-staleness machinery and cache policies —
+//! the correctness core of NeutronOrch's §4.2.2 guarantee.
+
+use neutronorch::cache::{EmbeddingStore, FeatureCache, HybridPolicy};
+use neutronorch::cache::policy::{CachePolicy, PreSamplePolicy};
+use neutronorch::sample::HotnessRanking;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any put/get sequence, a bounded store never serves an
+    /// embedding older than the bound, and the observed max gap is within
+    /// it.
+    #[test]
+    fn bounded_store_never_exceeds_bound(
+        bound in 1u64..10,
+        ops in proptest::collection::vec((0u32..8, 0u64..40, any::<bool>()), 1..60),
+    ) {
+        let mut store = EmbeddingStore::new(2, Some(bound));
+        let mut clock = 0u64;
+        for (v, advance, is_put) in ops {
+            clock += advance % 5;
+            if is_put {
+                store.put(v, vec![0.5, -0.5], clock);
+            } else {
+                match store.get(v, clock) {
+                    Ok(Some((_, gap))) => prop_assert!(gap <= bound),
+                    Ok(None) => {}
+                    Err(e) => prop_assert!(e.now - e.version > bound),
+                }
+            }
+        }
+        prop_assert!(store.max_observed_gap() <= bound);
+    }
+
+    /// Super-batch eviction means nothing older than the previous
+    /// super-batch survives — the paper's "only accessible within the
+    /// current super-batch" rule.
+    #[test]
+    fn eviction_enforces_two_superbatch_window(
+        n in 1u64..6,
+        super_batches in 2u64..8,
+    ) {
+        let mut store = EmbeddingStore::new(1, None);
+        for sb in 0..super_batches {
+            let version = sb * n;
+            store.put(sb as u32, vec![0.0], version);
+            // Entering super-batch sb: retire anything older than sb-1.
+            let cutoff = (sb.saturating_sub(1)) * n;
+            store.evict_older_than(cutoff);
+            // Every surviving read at the end of this super-batch has gap
+            // < 2n.
+            let now = (sb + 1) * n - 1;
+            for v in 0..=sb {
+                if let Some((_, gap)) = store.get(v as u32, now).unwrap() {
+                    prop_assert!(gap < 2 * n, "gap {gap} ≥ 2n={}", 2 * n);
+                }
+            }
+        }
+    }
+
+    /// A feature cache never exceeds its byte budget and its hit counting
+    /// is consistent.
+    #[test]
+    fn cache_respects_budget(
+        counts in proptest::collection::vec(0u32..100, 4..64),
+        row_bytes in 1u64..64,
+        budget in 0u64..2048,
+    ) {
+        let n = counts.len();
+        let ranking = HotnessRanking::from_counts(counts);
+        let policy = PreSamplePolicy::new(&ranking);
+        let mut cache = FeatureCache::fill(&policy.rank(), n, row_bytes, budget);
+        prop_assert!(cache.bytes() <= budget);
+        let accesses: Vec<u32> = (0..n as u32).collect();
+        let misses = cache.access_all(&accesses);
+        let (hits, miss2) = cache.counters();
+        prop_assert_eq!(misses, miss2);
+        prop_assert_eq!(hits + misses, n as u64);
+        prop_assert_eq!(hits as usize, cache.len());
+    }
+
+    /// The hybrid split always partitions the hot set exactly and its GPU
+    /// byte accounting matches the split.
+    #[test]
+    fn hybrid_split_partitions_exactly(
+        n in 4usize..128,
+        ratio in 0.0f64..1.0,
+        idle in 0.0f64..1.0,
+        free in 0u64..1_000_000,
+    ) {
+        let counts: Vec<u32> = (0..n as u32).rev().collect();
+        let hot = HotnessRanking::from_counts(counts).hot_set(ratio);
+        let policy = HybridPolicy { feature_row_bytes: 16, embedding_row_bytes: 4 };
+        let plan = policy.plan(&hot, idle, free);
+        prop_assert_eq!(plan.cpu_compute.len() + plan.gpu_cache.len(), hot.len());
+        // No overlap.
+        for v in &plan.gpu_cache {
+            prop_assert!(!plan.cpu_compute.contains(v));
+        }
+        prop_assert_eq!(
+            plan.gpu_bytes,
+            plan.gpu_cache.len() as u64 * 16 + plan.cpu_compute.len() as u64 * 4
+        );
+        // Memory cap honoured.
+        prop_assert!(plan.gpu_cache.len() as u64 * 16 <= free + 16);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of the tensor kernels and the GNN layers' gradients.
+
+use neutronorch::nn::gradcheck;
+use neutronorch::nn::LayerKind;
+use neutronorch::sample::Block;
+use neutronorch::tensor::{init, ops, softmax, Matrix};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_naive_reference((m, k, n) in dims(), seed in any::<u64>()) {
+        let a = init::uniform(m, k, -2.0, 2.0, seed);
+        let b = init::uniform(k, n, -2.0, 2.0, seed ^ 1);
+        let fast = ops::matmul(&a, &b);
+        let slow = ops::matmul_naive(&a, &b);
+        prop_assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn transpose_variants_agree((m, k, n) in dims(), seed in any::<u64>()) {
+        let a = init::uniform(k, m, -1.0, 1.0, seed);
+        let b = init::uniform(k, n, -1.0, 1.0, seed ^ 2);
+        let via_t = ops::matmul(&a.transpose(), &b);
+        prop_assert!(ops::matmul_at_b(&a, &b).approx_eq(&via_t, 1e-3));
+        let c = init::uniform(m, k, -1.0, 1.0, seed ^ 3);
+        let d = init::uniform(n, k, -1.0, 1.0, seed ^ 4);
+        let via_t2 = ops::matmul(&c, &d.transpose());
+        prop_assert!(ops::matmul_a_bt(&c, &d).approx_eq(&via_t2, 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((m, k, n) in dims(), seed in any::<u64>()) {
+        let a = init::uniform(m, k, -1.0, 1.0, seed);
+        let b1 = init::uniform(k, n, -1.0, 1.0, seed ^ 5);
+        let b2 = init::uniform(k, n, -1.0, 1.0, seed ^ 6);
+        let lhs = ops::matmul(&a, &ops::add(&b1, &b2));
+        let rhs = ops::add(&ops::matmul(&a, &b1), &ops::matmul(&a, &b2));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..8, cols in 1usize..16, seed in any::<u64>()) {
+        let z = init::uniform(rows, cols, -30.0, 30.0, seed);
+        let p = softmax::row_softmax(&z);
+        prop_assert!(p.all_finite());
+        for r in 0..rows {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_add_is_identity_on_disjoint_rows(
+        n in 2usize..16,
+        cols in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = init::uniform(n, cols, -1.0, 1.0, seed);
+        let idx: Vec<usize> = (0..n).collect();
+        let g = m.gather_rows(&idx);
+        let mut out = Matrix::zeros(n, cols);
+        out.scatter_add_rows(&idx, &g);
+        prop_assert!(out.approx_eq(&m, 1e-6));
+    }
+}
+
+/// Gradient checks on randomly shaped blocks — the strongest correctness
+/// statement in the workspace: analytic backward == finite differences for
+/// all three architectures.
+#[test]
+fn all_layer_gradients_match_finite_differences_on_random_blocks() {
+    let mut failures = Vec::new();
+    for seed in 0..3u64 {
+        // Random small block: 3 dst, up to 6 src.
+        let dst = vec![0, 1, 2];
+        let src = vec![0, 1, 2, 3, 4, 5];
+        let offsets = vec![0u32, 2, 3, 5];
+        let indices = vec![3, 4, 5, 3, 4];
+        let block = Block::new(dst, src, offsets, indices);
+        let input = init::uniform(6, 5, -1.0, 1.0, 100 + seed);
+        let labels = [0usize, 1, 2];
+        for kind in LayerKind::ALL {
+            let (p_err, i_err) = gradcheck::check_layer(kind, &block, &input, &labels, seed);
+            if p_err > 2e-2 || i_err > 2e-2 {
+                failures.push(format!("{kind:?} seed {seed}: param {p_err} input {i_err}"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "gradient mismatches: {failures:?}");
+}
