@@ -34,11 +34,18 @@ fn main() {
         match exp::run(&id, setup) {
             Some(report) => {
                 writeln!(lock, "{report}").unwrap();
-                writeln!(lock, "[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64())
-                    .unwrap();
+                writeln!(
+                    lock,
+                    "[{id} completed in {:.1}s]\n",
+                    started.elapsed().as_secs_f64()
+                )
+                .unwrap();
             }
             None => {
-                eprintln!("unknown experiment '{id}'; known: {}", exp::ALL_EXPERIMENTS.join(" "));
+                eprintln!(
+                    "unknown experiment '{id}'; known: {}",
+                    exp::ALL_EXPERIMENTS.join(" ")
+                );
                 std::process::exit(2);
             }
         }

@@ -42,12 +42,17 @@ pub fn superbatch_data(setup: Setup) -> Vec<SuperBatchPoint> {
             cfg.super_batch = n;
             cfg.profiled_batches = setup.profiled_batches();
             let profile = WorkloadProfile::build(&spec, &cfg);
-            let epoch_seconds =
-                NeutronOrch::new().simulate_epoch(&profile, &hw).expect("fits").epoch_seconds;
+            let epoch_seconds = NeutronOrch::new()
+                .simulate_epoch(&profile, &hw)
+                .expect("fits")
+                .epoch_seconds;
             let curve = run_convergence(
                 &DatasetSpec::reddit_convergence(),
                 LayerKind::Gcn,
-                ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch: n },
+                ReusePolicy::HotnessAware {
+                    hot_ratio: 0.2,
+                    super_batch: n,
+                },
                 epochs,
             );
             SuperBatchPoint {
@@ -83,7 +88,9 @@ pub fn hotratio_data(setup: Setup) -> Vec<HotRatioPoint> {
             cfg.hot_ratio = hot_ratio;
             cfg.profiled_batches = setup.profiled_batches();
             let profile = WorkloadProfile::build(&spec, &cfg);
-            let r = NeutronOrch::new().simulate_epoch(&profile, &hw).expect("fits");
+            let r = NeutronOrch::new()
+                .simulate_epoch(&profile, &hw)
+                .expect("fits");
             HotRatioPoint {
                 hot_ratio,
                 coverage: profile.paper_coverage(hot_ratio),

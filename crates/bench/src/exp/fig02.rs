@@ -27,8 +27,14 @@ pub fn data(setup: Setup) -> Vec<Fig2Row> {
     let profile = crate::build_profile(setup, &spec, LayerKind::Gcn, 3, 1024);
     let hw = HardwareSpec::v100_server(1.0);
     let systems: Vec<(String, Box<dyn Orchestrator>)> = vec![
-        ("CPU:S G | GPU:T".into(), Box::new(Case1Dgl { pipelined: true })),
-        ("CPU:G | GPU:S T".into(), Box::new(Case2DglUva { pipelined: true })),
+        (
+            "CPU:S G | GPU:T".into(),
+            Box::new(Case1Dgl { pipelined: true }),
+        ),
+        (
+            "CPU:G | GPU:S T".into(),
+            Box::new(Case2DglUva { pipelined: true }),
+        ),
         ("CPU:S | GPU:G T".into(), Box::new(Case3PaGraph)),
         ("CPU:-- | GPU:S G T".into(), Box::new(Case4GnnLab)),
         ("NeutronOrch".into(), Box::new(NeutronOrch::new())),
@@ -36,8 +42,15 @@ pub fn data(setup: Setup) -> Vec<Fig2Row> {
     systems
         .into_iter()
         .map(|(method, sys)| {
-            let r = sys.simulate_epoch(&profile, &hw).expect("Reddit replica fits");
-            Fig2Row { method, cpu_util: r.cpu_util, gpu_util: r.gpu_util, runtime: r.epoch_seconds }
+            let r = sys
+                .simulate_epoch(&profile, &hw)
+                .expect("Reddit replica fits");
+            Fig2Row {
+                method,
+                cpu_util: r.cpu_util,
+                gpu_util: r.gpu_util,
+                runtime: r.epoch_seconds,
+            }
         })
         .collect()
 }
@@ -47,7 +60,12 @@ pub fn run(setup: Setup) -> String {
     let rows: Vec<Vec<String>> = data(setup)
         .into_iter()
         .map(|r| {
-            vec![r.method, fmt_pct(r.cpu_util), fmt_pct(r.gpu_util), fmt_secs(r.runtime)]
+            vec![
+                r.method,
+                fmt_pct(r.cpu_util),
+                fmt_pct(r.gpu_util),
+                fmt_secs(r.runtime),
+            ]
         })
         .collect();
     render_table(
@@ -66,9 +84,15 @@ mod tests {
         let rows = data(Setup::Smoke);
         assert_eq!(rows.len(), 5);
         let ours = rows.last().unwrap();
-        let best_baseline =
-            rows[..4].iter().map(|r| r.runtime).fold(f64::INFINITY, f64::min);
-        assert!(ours.runtime <= best_baseline * 1.3, "ours {} vs best baseline {best_baseline}", ours.runtime);
+        let best_baseline = rows[..4]
+            .iter()
+            .map(|r| r.runtime)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            ours.runtime <= best_baseline * 1.3,
+            "ours {} vs best baseline {best_baseline}",
+            ours.runtime
+        );
         // The Fig 2 claim: NeutronOrch keeps the GPU busier than Case 1.
         assert!(ours.gpu_util > rows[0].gpu_util);
     }

@@ -44,9 +44,19 @@ pub fn batch_sweep(setup: Setup) -> Vec<BatchPoint> {
             let lens = Lens::new(&profile);
             let memory = lens.paper_batch_bytes(bs);
             match (Case1Dgl { pipelined: true }).simulate_epoch(&profile, &hw) {
-                Ok(r) => BatchPoint { batch_size: bs, gpu_util: r.gpu_util, runtime: r.epoch_seconds, memory },
+                Ok(r) => BatchPoint {
+                    batch_size: bs,
+                    gpu_util: r.gpu_util,
+                    runtime: r.epoch_seconds,
+                    memory,
+                },
                 // OOM at huge batches: report zero util/time, memory demand.
-                Err(_) => BatchPoint { batch_size: bs, gpu_util: 0.0, runtime: f64::NAN, memory },
+                Err(_) => BatchPoint {
+                    batch_size: bs,
+                    gpu_util: 0.0,
+                    runtime: f64::NAN,
+                    memory,
+                },
             }
         })
         .collect()
@@ -73,7 +83,11 @@ pub fn cache_sweep(setup: Setup) -> Vec<CachePoint> {
                 .sum();
             let transfer = (per_epoch as f64 * profile.spec.scale) as u64;
             let memory = (ratio * profile.spec.paper_vertices as f64) as u64 * feat_row;
-            CachePoint { cache_ratio: ratio, transfer, memory }
+            CachePoint {
+                cache_ratio: ratio,
+                transfer,
+                memory,
+            }
         })
         .collect()
 }
@@ -87,7 +101,11 @@ pub fn run(setup: Setup) -> String {
             vec![
                 p.batch_size.to_string(),
                 fmt_pct(p.gpu_util),
-                if p.runtime.is_nan() { "OOM".into() } else { fmt_secs(p.runtime) },
+                if p.runtime.is_nan() {
+                    "OOM".into()
+                } else {
+                    fmt_secs(p.runtime)
+                },
                 fmt_gb(p.memory),
             ]
         })
@@ -101,7 +119,11 @@ pub fn run(setup: Setup) -> String {
     let rows: Vec<Vec<String>> = cache_sweep(setup)
         .into_iter()
         .map(|p| {
-            vec![format!("{:.2}", p.cache_ratio), fmt_gb(p.transfer), fmt_gb(p.memory)]
+            vec![
+                format!("{:.2}", p.cache_ratio),
+                fmt_gb(p.transfer),
+                fmt_gb(p.memory),
+            ]
         })
         .collect();
     out.push_str(&render_table(
@@ -120,15 +142,27 @@ mod tests {
     fn gpu_util_and_memory_grow_with_batch_size() {
         let pts = batch_sweep(Setup::Smoke);
         assert!(pts.len() >= 2);
-        assert!(pts[1].gpu_util >= pts[0].gpu_util, "Fig 6a: util grows with batch");
-        assert!(pts[1].memory > pts[0].memory, "Fig 6b: memory grows with batch");
+        assert!(
+            pts[1].gpu_util >= pts[0].gpu_util,
+            "Fig 6a: util grows with batch"
+        );
+        assert!(
+            pts[1].memory > pts[0].memory,
+            "Fig 6b: memory grows with batch"
+        );
     }
 
     #[test]
     fn bigger_cache_cuts_transfer_linearly_and_costs_memory() {
         let pts = cache_sweep(Setup::Smoke);
-        assert!(pts.windows(2).all(|w| w[1].transfer <= w[0].transfer), "Fig 6c transfer");
-        assert!(pts.windows(2).all(|w| w[1].memory >= w[0].memory), "Fig 6c memory");
+        assert!(
+            pts.windows(2).all(|w| w[1].transfer <= w[0].transfer),
+            "Fig 6c transfer"
+        );
+        assert!(
+            pts.windows(2).all(|w| w[1].memory >= w[0].memory),
+            "Fig 6c memory"
+        );
         assert!(pts.last().unwrap().transfer < pts[0].transfer);
     }
 }

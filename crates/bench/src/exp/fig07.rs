@@ -42,8 +42,16 @@ pub fn data(setup: Setup) -> Fig7Data {
     let (bottom_dst, bottom_src) = sizes[0];
     let (top_dst, top_src) = sizes[1];
     let layers = vec![
-        ("bottom (features)".to_string(), bottom_src as usize, spec.feature_dim),
-        ("middle (embeddings)".to_string(), top_src as usize, spec.hidden_dim),
+        (
+            "bottom (features)".to_string(),
+            bottom_src as usize,
+            spec.feature_dim,
+        ),
+        (
+            "middle (embeddings)".to_string(),
+            top_src as usize,
+            spec.hidden_dim,
+        ),
         ("output".to_string(), top_dst as usize, spec.num_classes),
     ];
     let feat = spec.feature_row_bytes();
@@ -54,7 +62,11 @@ pub fn data(setup: Setup) -> Fig7Data {
     // plus the backward-pass data (aggregated neighbor representation +
     // fresh embedding) for each bottom destination (§4.1.1).
     let layer_based = (bottom_dst * (feat + hid) as f64) as u64;
-    Fig7Data { layers, transfer_all_gpu: all_gpu, transfer_layer_based: layer_based }
+    Fig7Data {
+        layers,
+        transfer_all_gpu: all_gpu,
+        transfer_layer_based: layer_based,
+    }
 }
 
 /// Renders Fig 7.
@@ -65,7 +77,11 @@ pub fn run(setup: Setup) -> String {
         .iter()
         .map(|(name, v, dim)| vec![name.clone(), v.to_string(), dim.to_string()])
         .collect();
-    rows.push(vec!["transfer, all-on-GPU".into(), fmt_gb(d.transfer_all_gpu), "GB".into()]);
+    rows.push(vec![
+        "transfer, all-on-GPU".into(),
+        fmt_gb(d.transfer_all_gpu),
+        "GB".into(),
+    ]);
     rows.push(vec![
         "transfer, layer-based".into(),
         fmt_gb(d.transfer_layer_based),

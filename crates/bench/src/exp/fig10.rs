@@ -27,16 +27,31 @@ fn systems_for(kind: LayerKind) -> Vec<(String, Option<Box<dyn Orchestrator>>)> 
     v.push(("DGL".into(), Some(Box::new(Case1Dgl { pipelined: true }))));
     v.push((
         "PaGraph".into(),
-        if kind == LayerKind::Gat { None } else { Some(Box::new(Case3PaGraph)) },
+        if kind == LayerKind::Gat {
+            None
+        } else {
+            Some(Box::new(Case3PaGraph))
+        },
     ));
     v.push((
         "GNNLab".into(),
-        if kind == LayerKind::Gat { None } else { Some(Box::new(Case4GnnLab)) },
+        if kind == LayerKind::Gat {
+            None
+        } else {
+            Some(Box::new(Case4GnnLab))
+        },
     ));
-    v.push(("DGL-UVA".into(), Some(Box::new(Case2DglUva { pipelined: true }))));
+    v.push((
+        "DGL-UVA".into(),
+        Some(Box::new(Case2DglUva { pipelined: true })),
+    ));
     v.push((
         "GAS".into(),
-        if kind == LayerKind::Sage { None } else { Some(Box::new(GasLike)) },
+        if kind == LayerKind::Sage {
+            None
+        } else {
+            Some(Box::new(GasLike))
+        },
     ));
     v.push(("NeutronOrch".into(), Some(Box::new(NeutronOrch::new()))));
     v
@@ -62,7 +77,11 @@ pub fn data(setup: Setup) -> Vec<Fig10Row> {
                     (name, cell)
                 })
                 .collect();
-            rows.push(Fig10Row { model: kind, dataset: spec.name, cells });
+            rows.push(Fig10Row {
+                model: kind,
+                dataset: spec.name,
+                cells,
+            });
         }
     }
     rows
@@ -90,7 +109,10 @@ pub fn run(setup: Setup) -> String {
             })
             .collect();
         out.push_str(&render_table(
-            &format!("Fig 10: per-epoch runtime, {} (bs=1024, replica scale)", kind.name()),
+            &format!(
+                "Fig 10: per-epoch runtime, {} (bs=1024, replica scale)",
+                kind.name()
+            ),
             &header_refs,
             &table_rows,
         ));

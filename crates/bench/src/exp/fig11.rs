@@ -83,7 +83,12 @@ pub fn data(setup: Setup) -> Vec<Fig11Row> {
                     Err(_) => Err("OOM"),
                 };
                 cells.push(("NeutronOrch".into(), ours));
-                rows.push(Fig11Row { dataset: spec.name, batch_size: bs, gpus: g, cells });
+                rows.push(Fig11Row {
+                    dataset: spec.name,
+                    batch_size: bs,
+                    gpus: g,
+                    cells,
+                });
             }
         }
     }
@@ -102,13 +107,17 @@ pub fn run(setup: Setup) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.dataset.to_string(), r.batch_size.to_string(), r.gpus.to_string()]
-                .into_iter()
-                .chain(r.cells.iter().map(|(_, c)| match c {
-                    Ok(s) => fmt_secs(*s),
-                    Err(m) => (*m).to_string(),
-                }))
-                .collect()
+            vec![
+                r.dataset.to_string(),
+                r.batch_size.to_string(),
+                r.gpus.to_string(),
+            ]
+            .into_iter()
+            .chain(r.cells.iter().map(|(_, c)| match c {
+                Ok(s) => fmt_secs(*s),
+                Err(m) => (*m).to_string(),
+            }))
+            .collect()
         })
         .collect();
     render_table(
@@ -144,7 +153,12 @@ mod tests {
             .iter()
             .find(|r| r.dataset == "Papers100M" && r.gpus == 1)
             .unwrap();
-        let dsp = &papers_1gpu.cells.iter().find(|(n, _)| n == "DSP").unwrap().1;
+        let dsp = &papers_1gpu
+            .cells
+            .iter()
+            .find(|(n, _)| n == "DSP")
+            .unwrap()
+            .1;
         assert!(dsp.is_err(), "DSP should OOM on Papers100M @1 GPU");
     }
 

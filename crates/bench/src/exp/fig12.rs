@@ -74,8 +74,15 @@ mod tests {
     fn every_dataset_ends_faster_than_baseline() {
         for row in data(Setup::Smoke) {
             let full = row.speedups.last().unwrap().1;
-            assert!(full > 1.0, "{}: full system speedup {full:.2} ≤ 1", row.dataset);
-            assert!((row.speedups[0].1 - 1.0).abs() < 1e-9, "baseline must be 1.0x");
+            assert!(
+                full > 1.0,
+                "{}: full system speedup {full:.2} ≤ 1",
+                row.dataset
+            );
+            assert!(
+                (row.speedups[0].1 - 1.0).abs() < 1e-9,
+                "baseline must be 1.0x"
+            );
         }
     }
 

@@ -19,7 +19,9 @@ pub struct Fig13Point {
 
 fn epoch_bottom_feature_bytes(profile: &WorkloadProfile) -> u64 {
     let row = profile.spec.feature_row_bytes();
-    (0..profile.num_batches).map(|i| profile.stats(i).bottom_src() as u64 * row).sum()
+    (0..profile.num_batches)
+        .map(|i| profile.stats(i).bottom_src() as u64 * row)
+        .sum()
 }
 
 /// Computes Fig 13 for ratios 0.05–0.25.
@@ -55,9 +57,8 @@ pub fn data(setup: Setup) -> Vec<Fig13Point> {
         let hit = profile.presample_coverage_topk(k);
         let embed_ship = {
             // One embedding per hot vertex per super-batch refresh.
-            let refreshes = (profile.num_batches as f64
-                / profile.config.super_batch.max(1) as f64)
-                .ceil();
+            let refreshes =
+                (profile.num_batches as f64 / profile.config.super_batch.max(1) as f64).ceil();
             profile.hot_per_super_batch / profile.hot.len().max(1) as f64
                 * k_paper
                 * hid_row as f64
@@ -120,7 +121,10 @@ mod tests {
         // Paper: Hybrid ships 63–76% of the static policies' volume.
         let pts = data(Setup::Smoke);
         let total = |p: &str| -> u64 {
-            pts.iter().filter(|x| x.policy == p).map(|x| x.transfer).sum()
+            pts.iter()
+                .filter(|x| x.policy == p)
+                .map(|x| x.transfer)
+                .sum()
         };
         // At smoke scale the epoch is only a couple of batches, so the
         // per-super-batch embedding refresh dominates; at paper scale the

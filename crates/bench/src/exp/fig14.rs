@@ -39,9 +39,19 @@ pub fn data(setup: Setup) -> Vec<Fig14Row> {
             cfg.hot_ratio = 0.0;
             let no_hot = WorkloadProfile::build(spec, &cfg);
             let sys = NeutronOrch::new();
-            let baseline = sys.simulate_epoch(&no_hot, &hw).expect("fits").train_seconds;
-            let ours = sys.simulate_epoch(&with_hot, &hw).expect("fits").train_seconds;
-            Fig14Row { dataset: spec.name, baseline, neutronorch: ours }
+            let baseline = sys
+                .simulate_epoch(&no_hot, &hw)
+                .expect("fits")
+                .train_seconds;
+            let ours = sys
+                .simulate_epoch(&with_hot, &hw)
+                .expect("fits")
+                .train_seconds;
+            Fig14Row {
+                dataset: spec.name,
+                baseline,
+                neutronorch: ours,
+            }
         })
         .collect()
 }

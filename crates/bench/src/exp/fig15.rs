@@ -49,7 +49,12 @@ pub fn run(setup: Setup) -> String {
     let rows: Vec<Vec<String>> = data(setup)
         .into_iter()
         .map(|r| {
-            vec![r.dataset.to_string(), r.system, fmt_pct(r.cpu_util), fmt_pct(r.gpu_util)]
+            vec![
+                r.dataset.to_string(),
+                r.system,
+                fmt_pct(r.cpu_util),
+                fmt_pct(r.gpu_util),
+            ]
         })
         .collect();
     render_table(

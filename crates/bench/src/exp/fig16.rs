@@ -35,7 +35,10 @@ pub fn data(setup: Setup) -> Vec<Fig16Panel> {
                 .into_iter()
                 .map(|policy| run_convergence(&spec, kind, policy, epochs))
                 .collect();
-            Fig16Panel { title: format!("{}-{}", kind.name(), spec.name), curves }
+            Fig16Panel {
+                title: format!("{}-{}", kind.name(), spec.name),
+                curves,
+            }
         })
         .collect()
 }
@@ -60,7 +63,11 @@ pub fn run(setup: Setup) -> String {
             .iter()
             .map(|c| {
                 std::iter::once(c.label.to_string())
-                    .chain(marks.iter().map(|&e| format!("{:.3}", c.epochs[e].test_accuracy)))
+                    .chain(
+                        marks
+                            .iter()
+                            .map(|&e| format!("{:.3}", c.epochs[e].test_accuracy)),
+                    )
                     .chain([
                         format!("{:.3}", c.best_accuracy()),
                         c.max_staleness().to_string(),
@@ -81,8 +88,8 @@ pub fn run(setup: Setup) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neutron_core::trainer::ReusePolicy;
     use neutron_core::runner;
+    use neutron_core::trainer::ReusePolicy;
 
     /// A smaller single-panel variant so the test stays fast.
     #[test]
@@ -93,10 +100,17 @@ mod tests {
         let ours = runner::run_convergence(
             &spec,
             LayerKind::Gcn,
-            ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch: 4 },
+            ReusePolicy::HotnessAware {
+                hot_ratio: 0.2,
+                super_batch: 4,
+            },
             epochs,
         );
-        assert!(exact.best_accuracy() > 0.55, "exact must learn: {}", exact.best_accuracy());
+        assert!(
+            exact.best_accuracy() > 0.55,
+            "exact must learn: {}",
+            exact.best_accuracy()
+        );
         // Paper: accuracy loss no more than 1%; allow replica slack.
         assert!(
             ours.best_accuracy() > exact.best_accuracy() - 0.05,
@@ -104,6 +118,10 @@ mod tests {
             ours.best_accuracy(),
             exact.best_accuracy()
         );
-        assert!(ours.max_staleness() < 8, "bound 2n-1 = 7 violated: {}", ours.max_staleness());
+        assert!(
+            ours.max_staleness() < 8,
+            "bound 2n-1 = 7 violated: {}",
+            ours.max_staleness()
+        );
     }
 }

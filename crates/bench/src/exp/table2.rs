@@ -86,6 +86,9 @@ mod tests {
             let share_sum = r.sample.1 + r.gather_fc.1 + r.gather_ft.1;
             assert!(share_sum <= 1.01, "shares cannot exceed total: {share_sum}");
         }
-        assert!(fc_dominant >= 4, "gather should dominate sampling on most datasets");
+        assert!(
+            fc_dominant >= 4,
+            "gather should dominate sampling on most datasets"
+        );
     }
 }

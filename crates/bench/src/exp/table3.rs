@@ -40,8 +40,12 @@ pub fn data(setup: Setup) -> Vec<Table3Row> {
     let hw = HardwareSpec::v100_server(1.0);
     let mut rows = Vec::new();
     {
-        let serial = Case1Dgl { pipelined: false }.simulate_epoch(&profile, &hw).unwrap();
-        let piped = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let serial = Case1Dgl { pipelined: false }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
+        let piped = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         rows.push(Table3Row {
             config: "CPU-based sampling",
             sample: serial.sample_seconds,
@@ -52,8 +56,12 @@ pub fn data(setup: Setup) -> Vec<Table3Row> {
         });
     }
     {
-        let serial = Case2DglUva { pipelined: false }.simulate_epoch(&profile, &hw).unwrap();
-        let piped = Case2DglUva { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let serial = Case2DglUva { pipelined: false }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
+        let piped = Case2DglUva { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         rows.push(Table3Row {
             config: "GPU-based sampling",
             sample: serial.sample_seconds,
@@ -111,6 +119,9 @@ mod tests {
     #[test]
     fn gpu_sampling_is_faster_at_the_sample_step() {
         let rows = data(Setup::Smoke);
-        assert!(rows[1].sample < rows[0].sample, "GPU sampling accelerates S");
+        assert!(
+            rows[1].sample < rows[0].sample,
+            "GPU sampling accelerates S"
+        );
     }
 }

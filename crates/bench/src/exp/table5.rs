@@ -47,7 +47,11 @@ pub fn data(setup: Setup) -> Vec<Table5Col> {
                     (label, cell)
                 })
                 .collect();
-            cols.push(Table5Col { dataset: spec.name, depth, cells });
+            cols.push(Table5Col {
+                dataset: spec.name,
+                depth,
+                cells,
+            });
         }
     }
     cols
@@ -89,13 +93,15 @@ mod tests {
         let cols = data(Setup::Smoke);
         // Runtime grows with depth for every system that survives.
         for name in ["Products", "Wikipedia"] {
-            let per_depth: Vec<&Table5Col> =
-                cols.iter().filter(|c| c.dataset == name).collect();
+            let per_depth: Vec<&Table5Col> = cols.iter().filter(|c| c.dataset == name).collect();
             let ours: Vec<f64> = per_depth
                 .iter()
                 .filter_map(|c| c.cells.last().unwrap().1.ok())
                 .collect();
-            assert!(ours.windows(2).all(|w| w[1] >= w[0] * 0.8), "{name}: {ours:?}");
+            assert!(
+                ours.windows(2).all(|w| w[1] >= w[0] * 0.8),
+                "{name}: {ours:?}"
+            );
             // NeutronOrch survives all depths.
             assert_eq!(ours.len(), 3, "{name}: NeutronOrch must not OOM");
         }

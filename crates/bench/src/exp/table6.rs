@@ -49,7 +49,11 @@ pub fn data(setup: Setup) -> Vec<Table6Col> {
                     (label, cell)
                 })
                 .collect();
-            cols.push(Table6Col { dataset: spec.name, batch_size: bs, cells });
+            cols.push(Table6Col {
+                dataset: spec.name,
+                batch_size: bs,
+                cells,
+            });
         }
     }
     cols
@@ -59,7 +63,10 @@ pub fn data(setup: Setup) -> Vec<Table6Col> {
 pub fn run(setup: Setup) -> String {
     let cols = data(setup);
     let headers: Vec<String> = std::iter::once("System".to_string())
-        .chain(cols.iter().map(|c| format!("{} bs{}", c.dataset, c.batch_size)))
+        .chain(
+            cols.iter()
+                .map(|c| format!("{} bs{}", c.dataset, c.batch_size)),
+        )
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let systems: Vec<&'static str> = cols[0].cells.iter().map(|(n, _)| *n).collect();

@@ -41,7 +41,9 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
     out.push('\n');

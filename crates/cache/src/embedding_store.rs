@@ -53,7 +53,13 @@ impl EmbeddingStore {
     /// read with version gap `> b` an error (NeutronOrch sets `b = 2n−1`);
     /// `None` allows unbounded reuse (GAS-like).
     pub fn new(dim: usize, bound: Option<u64>) -> Self {
-        Self { dim, bound, entries: HashMap::new(), max_observed_gap: 0, reads: 0 }
+        Self {
+            dim,
+            bound,
+            entries: HashMap::new(),
+            max_observed_gap: 0,
+            reads: 0,
+        }
     }
 
     /// Inserts/refreshes the embedding of `v` computed at `version`.
@@ -71,7 +77,12 @@ impl EmbeddingStore {
                 let gap = now.saturating_sub(*version);
                 if let Some(bound) = self.bound {
                     if gap > bound {
-                        return Err(StaleReadError { vertex: v, version: *version, now, bound });
+                        return Err(StaleReadError {
+                            vertex: v,
+                            version: *version,
+                            now,
+                            bound,
+                        });
                     }
                 }
                 self.reads += 1;

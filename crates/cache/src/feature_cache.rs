@@ -17,7 +17,12 @@ pub struct FeatureCache {
 
 impl FeatureCache {
     /// Fills the cache from `ranking` until `budget_bytes` is exhausted.
-    pub fn fill(ranking: &CacheRanking, num_vertices: usize, row_bytes: u64, budget_bytes: u64) -> Self {
+    pub fn fill(
+        ranking: &CacheRanking,
+        num_vertices: usize,
+        row_bytes: u64,
+        budget_bytes: u64,
+    ) -> Self {
         let capacity = budget_bytes.checked_div(row_bytes).unwrap_or(0) as usize;
         let mut cached = vec![false; num_vertices];
         let mut num_cached = 0;
@@ -27,7 +32,13 @@ impl FeatureCache {
                 num_cached += 1;
             }
         }
-        Self { cached, num_cached, row_bytes, hits: 0, misses: 0 }
+        Self {
+            cached,
+            num_cached,
+            row_bytes,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Number of cached vertices.

@@ -7,8 +7,8 @@
 //! smaller than features (hidden_dim < feature_dim), which is where the
 //! Fig 13 memory savings come from.
 
-use neutron_sample::HotSet;
 use neutron_graph::VertexId;
+use neutron_sample::HotSet;
 
 /// Outcome of the hybrid split.
 #[derive(Clone, Debug)]
@@ -60,8 +60,9 @@ impl HybridPolicy {
         // Memory caps the move; every cached vertex also frees the staging
         // slot its embedding would have used, so charge the net difference.
         let per_vertex = self.feature_row_bytes;
-        let fit_gpu =
-            gpu_free_bytes.checked_div(per_vertex).map_or(usize::MAX, |n| n as usize);
+        let fit_gpu = gpu_free_bytes
+            .checked_div(per_vertex)
+            .map_or(usize::MAX, |n| n as usize);
         let to_gpu = want_gpu.min(fit_gpu).min(hot.len());
         // The *least* hot of the hot set go to the GPU cache: the hottest
         // vertices are reused most, so CPU-computing them saves the most
@@ -70,7 +71,11 @@ impl HybridPolicy {
         let (cpu_compute, gpu_cache) = hot.split_cpu_gpu(cpu_fraction);
         let gpu_bytes = gpu_cache.len() as u64 * self.feature_row_bytes
             + cpu_compute.len() as u64 * self.embedding_row_bytes;
-        HybridPlan { cpu_compute, gpu_cache, gpu_bytes }
+        HybridPlan {
+            cpu_compute,
+            gpu_cache,
+            gpu_bytes,
+        }
     }
 }
 
@@ -85,7 +90,10 @@ mod tests {
     }
 
     fn policy() -> HybridPolicy {
-        HybridPolicy { feature_row_bytes: 400, embedding_row_bytes: 100 }
+        HybridPolicy {
+            feature_row_bytes: 400,
+            embedding_row_bytes: 100,
+        }
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl<'a> DegreePolicy<'a> {
 
 impl CachePolicy for DegreePolicy<'_> {
     fn rank(&self) -> CacheRanking {
-        CacheRanking { order: degree::vertices_by_degree_desc(self.graph), label: "Degree" }
+        CacheRanking {
+            order: degree::vertices_by_degree_desc(self.graph),
+            label: "Degree",
+        }
     }
 }
 
@@ -66,7 +69,10 @@ impl<'a> PreSamplePolicy<'a> {
 
 impl CachePolicy for PreSamplePolicy<'_> {
     fn rank(&self) -> CacheRanking {
-        CacheRanking { order: self.hotness.order().to_vec(), label: "PreSample" }
+        CacheRanking {
+            order: self.hotness.order().to_vec(),
+            label: "PreSample",
+        }
     }
 }
 

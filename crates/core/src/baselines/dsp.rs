@@ -20,7 +20,9 @@ pub struct DspLike {
 
 impl Default for DspLike {
     fn default() -> Self {
-        Self { min_cache_ratio: 0.25 }
+        Self {
+            min_cache_ratio: 0.25,
+        }
     }
 }
 
@@ -41,16 +43,18 @@ impl Orchestrator for DspLike {
         let mut mem = MemLedger::new(hw.gpu.mem_bytes);
         mem.alloc("params", lens.param_bytes())?;
         mem.alloc("topology-shard", lens.paper_topology_bytes() / gpus as u64)?;
-        mem.alloc("batch", 2 * lens.paper_batch_bytes(profile.config.batch_size))?;
-        let min_cache = (lens.paper_feature_bytes() as f64 * self.min_cache_ratio / gpus as f64) as u64;
+        mem.alloc(
+            "batch",
+            2 * lens.paper_batch_bytes(profile.config.batch_size),
+        )?;
+        let min_cache =
+            (lens.paper_feature_bytes() as f64 * self.min_cache_ratio / gpus as f64) as u64;
         mem.alloc("feature-cache", min_cache.max(mem.available()))?;
         let (_, hit) = lens.cache_plan(mem.region("feature-cache") * gpus as u64, false);
 
         let mut sched = ScheduleBuilder::new();
         let cpu = sched.resource("cpu", hw.cpu.cores);
-        let nvlink = hw
-            .nvlink
-            .map(|l| sched.resource("nvlink", l.bandwidth));
+        let nvlink = hw.nvlink.map(|l| sched.resource("nvlink", l.bandwidth));
         let mut gpu_res = Vec::new();
         let mut h2d_res = Vec::new();
         for g in 0..gpus {

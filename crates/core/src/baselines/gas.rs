@@ -45,7 +45,10 @@ impl Orchestrator for GasLike {
             "historical-embeddings",
             profile.spec.paper_vertices * hidden_row * layers as u64,
         )?;
-        mem.alloc("batch", 2 * lens.paper_one_hop_bytes(profile.config.batch_size))?;
+        mem.alloc(
+            "batch",
+            2 * lens.paper_one_hop_bytes(profile.config.batch_size),
+        )?;
 
         let mut parts = single_gpu_parts(hw);
         let mut h2d_bytes = 0u64;
@@ -147,7 +150,10 @@ mod tests {
     fn gas_avoids_multi_hop_sampling_entirely() {
         let (profile, hw) = fixture();
         let r = GasLike.simulate_epoch(&profile, &hw).unwrap();
-        assert_eq!(r.sample_seconds, 0.0, "GAS trains on 1-hop sets, no sampler");
+        assert_eq!(
+            r.sample_seconds, 0.0,
+            "GAS trains on 1-hop sets, no sampler"
+        );
     }
 
     #[test]
@@ -157,7 +163,9 @@ mod tests {
         // histories outweigh DGL's sampled-feature transfers.
         let (profile, hw) = fixture();
         let gas = GasLike.simulate_epoch(&profile, &hw).unwrap();
-        let dgl = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let dgl = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         assert!(
             gas.h2d_bytes > dgl.h2d_bytes / 2,
             "GAS h2d {} should be at least comparable to DGL {}",

@@ -29,7 +29,13 @@ pub(crate) fn single_gpu_parts(hw: &HardwareSpec) -> SingleGpuParts {
     let gpu = sched.resource("gpu0", 1.0);
     let h2d = sched.resource("h2d0", hw.pcie.bandwidth);
     let d2h = sched.resource("d2h0", hw.pcie.bandwidth);
-    SingleGpuParts { sched, cpu, gpu, h2d, d2h }
+    SingleGpuParts {
+        sched,
+        cpu,
+        gpu,
+        h2d,
+        d2h,
+    }
 }
 
 /// Mean utilization across all resources whose name starts with `prefix`.

@@ -47,7 +47,11 @@ pub struct Case4GnnLab;
 
 impl Orchestrator for Case1Dgl {
     fn name(&self) -> String {
-        if self.pipelined { "DGL".into() } else { "DGL (no pipeline)".into() }
+        if self.pipelined {
+            "DGL".into()
+        } else {
+            "DGL (no pipeline)".into()
+        }
     }
 
     fn simulate_epoch(
@@ -120,7 +124,11 @@ impl Orchestrator for Case1Dgl {
 
 impl Orchestrator for Case2DglUva {
     fn name(&self) -> String {
-        if self.pipelined { "DGL-UVA".into() } else { "DGL-UVA (no pipeline)".into() }
+        if self.pipelined {
+            "DGL-UVA".into()
+        } else {
+            "DGL-UVA (no pipeline)".into()
+        }
     }
 
     fn simulate_epoch(
@@ -206,7 +214,10 @@ impl Orchestrator for Case3PaGraph {
         let cm = CostModel::new(hw.clone());
         let mut mem = MemLedger::new(hw.gpu.mem_bytes);
         mem.alloc("params", lens.param_bytes())?;
-        mem.alloc("batch", 2 * lens.paper_batch_bytes(profile.config.batch_size))?;
+        mem.alloc(
+            "batch",
+            2 * lens.paper_batch_bytes(profile.config.batch_size),
+        )?;
         // Whatever is left becomes the degree-ranked feature cache — this is
         // the batch-size/cache-ratio tradeoff of Fig 6.
         let (_, hit) = lens.cache_plan(mem.available(), true);
@@ -221,8 +232,8 @@ impl Orchestrator for Case3PaGraph {
                 "cpu:sample",
                 &[],
             );
-            let miss_bytes = ((lens.bottom_feature_bytes(i) as f64) * (1.0 - hit)) as u64
-                + lens.block_bytes(i);
+            let miss_bytes =
+                ((lens.bottom_feature_bytes(i) as f64) * (1.0 - hit)) as u64 + lens.block_bytes(i);
             let fc = parts.sched.task(
                 parts.cpu,
                 TaskKind::GatherCollect,
@@ -275,7 +286,10 @@ impl Orchestrator for Case4GnnLab {
         mem.alloc("params", lens.param_bytes())?;
         // GNNLab keeps the full topology on the GPU for sampling.
         mem.alloc("topology", lens.paper_topology_bytes())?;
-        mem.alloc("batch", 2 * lens.paper_batch_bytes(profile.config.batch_size))?;
+        mem.alloc(
+            "batch",
+            2 * lens.paper_batch_bytes(profile.config.batch_size),
+        )?;
         let (_, hit) = lens.cache_plan(mem.available(), false);
         mem.alloc("feature-cache", mem.available())?;
         let mut parts = single_gpu_parts(hw);
@@ -365,15 +379,24 @@ mod tests {
     #[test]
     fn pipelining_helps_case1() {
         let (profile, hw) = fixture();
-        let piped = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
-        let serial = Case1Dgl { pipelined: false }.simulate_epoch(&profile, &hw).unwrap();
-        assert!(piped.epoch_seconds < serial.epoch_seconds, "pipeline must help (Table 3)");
+        let piped = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
+        let serial = Case1Dgl { pipelined: false }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
+        assert!(
+            piped.epoch_seconds < serial.epoch_seconds,
+            "pipeline must help (Table 3)"
+        );
     }
 
     #[test]
     fn caching_systems_transfer_less_than_dgl() {
         let (profile, hw) = fixture();
-        let dgl = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let dgl = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         let pagraph = Case3PaGraph.simulate_epoch(&profile, &hw).unwrap();
         let gnnlab = Case4GnnLab.simulate_epoch(&profile, &hw).unwrap();
         assert!(pagraph.h2d_bytes <= dgl.h2d_bytes);
@@ -383,15 +406,26 @@ mod tests {
     #[test]
     fn case1_has_high_cpu_low_gpu_utilization() {
         let (profile, hw) = fixture();
-        let r = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let r = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         // The Fig 2 signature: CPU-side steps starve the GPU.
-        assert!(r.cpu_util > r.gpu_util, "cpu {} vs gpu {}", r.cpu_util, r.gpu_util);
+        assert!(
+            r.cpu_util > r.gpu_util,
+            "cpu {} vs gpu {}",
+            r.cpu_util,
+            r.gpu_util
+        );
     }
 
     #[test]
     fn gnnlab_leaves_cpu_mostly_idle() {
         let (profile, hw) = fixture();
         let r = Case4GnnLab.simulate_epoch(&profile, &hw).unwrap();
-        assert!(r.cpu_util < 0.5, "Case 4 idles the CPU (Fig 2), got {}", r.cpu_util);
+        assert!(
+            r.cpu_util < 0.5,
+            "Case 4 idles the CPU (Fig 2), got {}",
+            r.cpu_util
+        );
     }
 }

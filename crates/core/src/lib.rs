@@ -26,6 +26,7 @@
 pub mod baselines;
 pub mod neutronorch;
 pub mod orchestrator;
+pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod runner;
@@ -34,5 +35,6 @@ pub mod trainer;
 
 pub use neutronorch::{NeutronOrch, NeutronOrchConfig};
 pub use orchestrator::Orchestrator;
+pub use pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
 pub use profile::{WorkloadConfig, WorkloadProfile};
 pub use report::EpochReport;

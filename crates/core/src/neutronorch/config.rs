@@ -22,28 +22,50 @@ pub struct NeutronOrchConfig {
 impl NeutronOrchConfig {
     /// Fig 12's "Baseline": step-based, no NeutronOrch techniques.
     pub fn baseline() -> Self {
-        Self { layer_based: false, hotness_reuse: false, hybrid: false, super_batch_pipeline: false }
+        Self {
+            layer_based: false,
+            hotness_reuse: false,
+            hybrid: false,
+            super_batch_pipeline: false,
+        }
     }
 
     /// Baseline + L.
     pub fn plus_l() -> Self {
-        Self { layer_based: true, ..Self::baseline() }
+        Self {
+            layer_based: true,
+            ..Self::baseline()
+        }
     }
 
     /// Baseline + L + HE.
     pub fn plus_l_he() -> Self {
-        Self { layer_based: true, hotness_reuse: true, ..Self::baseline() }
+        Self {
+            layer_based: true,
+            hotness_reuse: true,
+            ..Self::baseline()
+        }
     }
 
     /// Baseline + L + HE + HH.
     pub fn plus_l_he_hh() -> Self {
-        Self { layer_based: true, hotness_reuse: true, hybrid: true, super_batch_pipeline: false }
+        Self {
+            layer_based: true,
+            hotness_reuse: true,
+            hybrid: true,
+            super_batch_pipeline: false,
+        }
     }
 
     /// The full system (all four techniques) — what "NeutronOrch" means in
     /// every other figure.
     pub fn full() -> Self {
-        Self { layer_based: true, hotness_reuse: true, hybrid: true, super_batch_pipeline: true }
+        Self {
+            layer_based: true,
+            hotness_reuse: true,
+            hybrid: true,
+            super_batch_pipeline: true,
+        }
     }
 
     /// All five ablation stages in Fig 12 order, with their labels.

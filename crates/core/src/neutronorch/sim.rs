@@ -22,7 +22,9 @@ pub struct NeutronOrch {
 impl NeutronOrch {
     /// The full system.
     pub fn new() -> Self {
-        Self { config: NeutronOrchConfig::full() }
+        Self {
+            config: NeutronOrchConfig::full(),
+        }
     }
 
     /// A specific ablation stage.
@@ -63,7 +65,13 @@ impl Orchestrator for NeutronOrch {
         // fraction, which NeutronOrch "monitors during execution" (§4.1.3);
         // we reproduce the feedback loop: simulate with all-CPU hot
         // processing, observe idleness, re-plan, re-simulate.
-        let first = simulate_hotness(profile, hw, &self.name(), 1.0, self.config.super_batch_pipeline)?;
+        let first = simulate_hotness(
+            profile,
+            hw,
+            &self.name(),
+            1.0,
+            self.config.super_batch_pipeline,
+        )?;
         if !self.config.hybrid {
             return Ok(first);
         }
@@ -100,17 +108,38 @@ fn simulate_step_baseline(
     let mut mem = MemLedger::new(hw.gpu.mem_bytes);
     mem.alloc("params", lens.param_bytes())?;
     mem.alloc("topology", lens.paper_topology_bytes())?;
-    mem.alloc("batch", 2 * lens.paper_batch_bytes(profile.config.batch_size))?;
+    mem.alloc(
+        "batch",
+        2 * lens.paper_batch_bytes(profile.config.batch_size),
+    )?;
     let mut sched = ScheduleBuilder::new();
     let cpu = sched.resource("cpu", hw.cpu.cores);
     let gpu = sched.resource("gpu0", 1.0);
     let h2d = sched.resource("h2d0", hw.pcie.bandwidth);
     let mut h2d_bytes = 0u64;
     for i in 0..profile.num_batches {
-        let s = sched.task(gpu, TaskKind::Sample, cm.gpu_sample(lens.sampled_edges(i)), "gpu:sample", &[]);
+        let s = sched.task(
+            gpu,
+            TaskKind::Sample,
+            cm.gpu_sample(lens.sampled_edges(i)),
+            "gpu:sample",
+            &[],
+        );
         let bytes = lens.bottom_feature_bytes(i) + lens.block_bytes(i);
-        let fc = sched.task(cpu, TaskKind::GatherCollect, cm.cpu_collect(bytes), "cpu:gather", &[s]);
-        let ft = sched.task(h2d, TaskKind::Transfer, cm.pcie_transfer(bytes), "pcie:h2d", &[fc]);
+        let fc = sched.task(
+            cpu,
+            TaskKind::GatherCollect,
+            cm.cpu_collect(bytes),
+            "cpu:gather",
+            &[s],
+        );
+        let ft = sched.task(
+            h2d,
+            TaskKind::Transfer,
+            cm.pcie_transfer(bytes),
+            "pcie:h2d",
+            &[fc],
+        );
         h2d_bytes += bytes;
         sched.task(
             gpu,
@@ -174,13 +203,25 @@ fn simulate_naive_layer_based(
         );
         // GPU: sample the upper hops.
         let upper_edges = stats.total_edges() as u64 - bottom.num_edges as u64;
-        let s_gpu = sched.task(gpu, TaskKind::Sample, cm.gpu_sample(upper_edges), "gpu:sample", &[]);
+        let s_gpu = sched.task(
+            gpu,
+            TaskKind::Sample,
+            cm.gpu_sample(upper_edges),
+            "gpu:sample",
+            &[],
+        );
         // Transfer: computed embeddings + data for the GPU-side backward
         // (aggregated neighbor representation + new embedding, §4.1.1).
         let bytes = bottom.num_dst as u64
             * (profile.spec.hidden_row_bytes() + profile.spec.feature_row_bytes())
             + lens.block_bytes(i);
-        let ft = sched.task(h2d, TaskKind::Transfer, cm.pcie_transfer(bytes), "pcie:h2d", &[e]);
+        let ft = sched.task(
+            h2d,
+            TaskKind::Transfer,
+            cm.pcie_transfer(bytes),
+            "pcie:h2d",
+            &[e],
+        );
         h2d_bytes += bytes;
         // GPU: upper layers + the bottom layer's backward pass.
         let gpu_flops = upper + 2 * bottom_fwd;
@@ -315,7 +356,13 @@ fn simulate_hotness(
             // previous super-batch to finish training.
             deps.extend(prev_sb_last_train.iter().flatten().copied());
         }
-        let s_hot = sched.task(cpu, TaskKind::Sample, cm.cpu_sample(hot_edges_per_sb), "cpu:hotsample", &deps);
+        let s_hot = sched.task(
+            cpu,
+            TaskKind::Sample,
+            cm.cpu_sample(hot_edges_per_sb),
+            "cpu:hotsample",
+            &deps,
+        );
         let e = sched.task(
             cpu,
             TaskKind::HotEmbed,
@@ -340,8 +387,8 @@ fn simulate_hotness(
             // Sampling skips the subtrees below CPU-handled hot vertices.
             let bottom_edges = stats.layers[0].num_edges as u64;
             let upper_edges = stats.total_edges() as u64 - bottom_edges;
-            let sampled = upper_edges
-                + ((bottom_edges as f64) * (1.0 - hot_cov * cpu_fraction)) as u64;
+            let sampled =
+                upper_edges + ((bottom_edges as f64) * (1.0 - hot_cov * cpu_fraction)) as u64;
             let s = sched.task(
                 gpu_res[g],
                 TaskKind::Sample,
@@ -380,8 +427,7 @@ fn simulate_hotness(
             // the CPU-computed hot destinations, plus all upper layers.
             let (_, upper) = lens.train_flops_layer_split(i);
             let bottom_full = lens.train_flops(i) - upper;
-            let bottom_gpu =
-                ((bottom_full as f64) * (1.0 - hot_cov * cpu_fraction)) as u64;
+            let bottom_gpu = ((bottom_full as f64) * (1.0 - hot_cov * cpu_fraction)) as u64;
             let mut tdeps = vec![ft];
             if let Some(s) = sample_tails[g] {
                 tdeps.push(s);
@@ -441,7 +487,10 @@ mod tests {
         let (profile, hw) = fixture();
         let r = NeutronOrch::new().simulate_epoch(&profile, &hw).unwrap();
         assert!(r.epoch_seconds > 0.0);
-        assert!(r.hot_embed_seconds > 0.0, "CPU must be computing hot embeddings");
+        assert!(
+            r.hot_embed_seconds > 0.0,
+            "CPU must be computing hot embeddings"
+        );
     }
 
     #[test]
@@ -451,11 +500,19 @@ mod tests {
         let times: Vec<f64> = ladder
             .iter()
             .map(|(_, cfg)| {
-                NeutronOrch::with_config(*cfg).simulate_epoch(&profile, &hw).unwrap().epoch_seconds
+                NeutronOrch::with_config(*cfg)
+                    .simulate_epoch(&profile, &hw)
+                    .unwrap()
+                    .epoch_seconds
             })
             .collect();
         // The full system must beat the baseline and the naive layer split.
-        assert!(times[4] < times[0], "full {} vs baseline {}", times[4], times[0]);
+        assert!(
+            times[4] < times[0],
+            "full {} vs baseline {}",
+            times[4],
+            times[0]
+        );
         assert!(times[4] < times[1], "full {} vs +L {}", times[4], times[1]);
         // HE must rescue the naive layer split's CPU bottleneck.
         assert!(times[2] < times[1], "+HE {} vs +L {}", times[2], times[1]);
@@ -471,7 +528,9 @@ mod tests {
         let profile = WorkloadProfile::build(&spec, &cfg);
         let hw = HardwareSpec::v100_server(1.0);
         let ours = NeutronOrch::new().simulate_epoch(&profile, &hw).unwrap();
-        let dgl = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let dgl = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         let gnnlab = Case4GnnLab.simulate_epoch(&profile, &hw).unwrap();
         assert!(
             ours.epoch_seconds < dgl.epoch_seconds,
@@ -491,8 +550,15 @@ mod tests {
     fn transfers_less_than_dgl() {
         let (profile, hw) = fixture();
         let ours = NeutronOrch::new().simulate_epoch(&profile, &hw).unwrap();
-        let dgl = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
-        assert!(ours.h2d_bytes < dgl.h2d_bytes, "{} vs {}", ours.h2d_bytes, dgl.h2d_bytes);
+        let dgl = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
+        assert!(
+            ours.h2d_bytes < dgl.h2d_bytes,
+            "{} vs {}",
+            ours.h2d_bytes,
+            dgl.h2d_bytes
+        );
     }
 
     #[test]

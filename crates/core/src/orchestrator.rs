@@ -40,7 +40,10 @@ impl<'a> Lens<'a> {
             layers: profile.config.layers,
             seed: 0,
         };
-        Self { profile, dims: cfg.layer_dims() }
+        Self {
+            profile,
+            dims: cfg.layer_dims(),
+        }
     }
 
     /// Total sampled edges of batch `i` (the sampling workload).
@@ -74,8 +77,9 @@ impl<'a> Lens<'a> {
         let stats = self.profile.stats(i);
         let (din, dout) = self.dims[0];
         let bottom = &stats.layers[0];
-        let cold_dst =
-            bottom.num_dst.saturating_sub((bottom.num_dst as f64 * self.hot_dst_fraction()) as usize);
+        let cold_dst = bottom
+            .num_dst
+            .saturating_sub((bottom.num_dst as f64 * self.hot_dst_fraction()) as usize);
         let bottom_cold = flops::layer_train_flops(
             self.profile.config.kind,
             cold_dst as u64,
@@ -153,7 +157,10 @@ impl<'a> Lens<'a> {
 
     /// Peak batch bytes across the epoch (for memory sizing).
     pub fn max_activation_bytes(&self) -> u64 {
-        (0..self.profile.per_batch.len()).map(|i| self.activation_bytes(i)).max().unwrap_or(0)
+        (0..self.profile.per_batch.len())
+            .map(|i| self.activation_bytes(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Bottom-layer hidden-embedding bytes for batch `i`'s dst set — what a
@@ -270,7 +277,10 @@ mod tests {
         let lens = Lens::new(&p);
         let total = lens.train_flops(0);
         let (bottom_cold, upper) = lens.train_flops_layer_split(0);
-        assert!(bottom_cold + upper <= total, "{bottom_cold}+{upper} vs {total}");
+        assert!(
+            bottom_cold + upper <= total,
+            "{bottom_cold}+{upper} vs {total}"
+        );
         assert!(upper > 0);
     }
 
@@ -301,6 +311,8 @@ mod tests {
     fn activation_bytes_grow_with_batch_content() {
         let p = lens_fixture();
         let lens = Lens::new(&p);
-        assert!(lens.max_activation_bytes() >= lens.activation_bytes(0).min(lens.activation_bytes(1)));
+        assert!(
+            lens.max_activation_bytes() >= lens.activation_bytes(0).min(lens.activation_bytes(1))
+        );
     }
 }

@@ -170,7 +170,10 @@ impl WorkloadProfile {
                 edges += n.len();
                 uniq.extend(n.iter().copied());
             }
-            one_hop.push(OneHopStats { src: uniq.len(), edges });
+            one_hop.push(OneHopStats {
+                src: uniq.len(),
+                edges,
+            });
         }
 
         // Coverage curves for the two static cache policies.
@@ -205,8 +208,11 @@ impl WorkloadProfile {
             windows += 1;
             i += window;
         }
-        let hot_per_super_batch =
-            if windows > 0 { unique_sum as f64 / windows as f64 } else { 0.0 };
+        let hot_per_super_batch = if windows > 0 {
+            unique_sum as f64 / windows as f64
+        } else {
+            0.0
+        };
 
         let bottom_fanout = fanout.at(0);
         let hot_one_hop_edges: u64 = hot
@@ -215,8 +221,7 @@ impl WorkloadProfile {
             .map(|&v| ds.csr.degree(v).min(bottom_fanout) as u64)
             .sum();
 
-        let paper_coverage_curve =
-            paper_coverage_curve(&ds.csr, spec, config, &fanout);
+        let paper_coverage_curve = paper_coverage_curve(&ds.csr, spec, config, &fanout);
 
         Self {
             spec: spec.clone(),
@@ -316,8 +321,9 @@ fn paper_coverage_curve(
     }
     let target_fraction = (dst / v_paper).clamp(1e-6, 1.0);
     // Replica degree distribution, descending — the skew shape.
-    let mut degs: Vec<f64> =
-        (0..csr.num_vertices()).map(|v| csr.degree(v as u32) as f64).collect();
+    let mut degs: Vec<f64> = (0..csr.num_vertices())
+        .map(|v| csr.degree(v as u32) as f64)
+        .collect();
     degs.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
     if degs.is_empty() {
         return vec![0.0; 1001];

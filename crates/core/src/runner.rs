@@ -21,12 +21,19 @@ impl ConvergenceCurve {
 
     /// Best test accuracy across epochs.
     pub fn best_accuracy(&self) -> f64 {
-        self.epochs.iter().map(|o| o.test_accuracy).fold(0.0, f64::max)
+        self.epochs
+            .iter()
+            .map(|o| o.test_accuracy)
+            .fold(0.0, f64::max)
     }
 
     /// Largest staleness observed over the run.
     pub fn max_staleness(&self) -> u64 {
-        self.epochs.iter().map(|o| o.max_staleness).max().unwrap_or(0)
+        self.epochs
+            .iter()
+            .map(|o| o.max_staleness)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -43,7 +50,10 @@ pub fn run_convergence(
     let config = TrainerConfig::convergence_default(kind, policy);
     let mut trainer = ConvergenceTrainer::new(dataset, config);
     let observations = (0..epochs).map(|e| trainer.train_epoch(e)).collect();
-    ConvergenceCurve { label, epochs: observations }
+    ConvergenceCurve {
+        label,
+        epochs: observations,
+    }
 }
 
 /// The three Fig 16 policies, in plot order.
@@ -51,7 +61,10 @@ pub fn fig16_policies(super_batch: usize) -> Vec<ReusePolicy> {
     vec![
         ReusePolicy::Exact,
         ReusePolicy::GasLike,
-        ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch },
+        ReusePolicy::HotnessAware {
+            hot_ratio: 0.2,
+            super_batch,
+        },
     ]
 }
 

@@ -20,7 +20,10 @@ pub struct ScheduleBuilder {
 impl ScheduleBuilder {
     /// Empty schedule.
     pub fn new() -> Self {
-        Self { engine: Engine::new(), streams: HashMap::new() }
+        Self {
+            engine: Engine::new(),
+            streams: HashMap::new(),
+        }
     }
 
     /// Registers a resource pool.
@@ -42,7 +45,9 @@ impl ScheduleBuilder {
         if let Some(&prev) = self.streams.get(stream) {
             all.push(prev);
         }
-        let id = self.engine.add_task(resource, kind, cost.work, cost.demand, &all);
+        let id = self
+            .engine
+            .add_task(resource, kind, cost.work, cost.demand, &all);
         self.streams.insert(stream.to_string(), id);
         id
     }

@@ -12,8 +12,9 @@ use neutron_nn::metrics::accuracy;
 use neutron_nn::model::{GnnModel, ModelConfig};
 use neutron_nn::optim::{Optimizer, Sgd};
 use neutron_nn::LayerKind;
-use neutron_sample::{BatchIterator, Fanout, HotSet, NeighborSampler, PreSampler};
+use neutron_sample::{BatchIterator, Block, Fanout, HotSet, NeighborSampler, PreSampler};
 use neutron_tensor::Matrix;
+use std::sync::Arc;
 
 /// Historical-embedding reuse policy.
 #[derive(Clone, Debug)]
@@ -65,7 +66,14 @@ pub struct TrainerConfig {
 impl TrainerConfig {
     /// A small-scale default suitable for the convergence replicas.
     pub fn convergence_default(kind: LayerKind, policy: ReusePolicy) -> Self {
-        Self { kind, layers: 2, batch_size: 256, lr: 0.3, seed: 0xacc, policy }
+        Self {
+            kind,
+            layers: 2,
+            batch_size: 256,
+            lr: 0.3,
+            seed: 0xacc,
+            policy,
+        }
     }
 }
 
@@ -83,9 +91,51 @@ pub struct EpochObservation {
     pub staleness_epsilon: f32,
 }
 
+/// The deterministic per-batch sampling seed shared by the sequential
+/// trainer and the pipelined executor: any executor that derives block
+/// sampling from `(config seed, epoch, batch index)` this way reproduces
+/// the exact training trajectory regardless of thread count. Epoch and
+/// index occupy disjoint bit ranges so seeds never collide between epochs,
+/// however many batches an epoch has.
+pub fn batch_sample_seed(config_seed: u64, epoch: usize, index: usize) -> u64 {
+    config_seed ^ ((epoch as u64) << 32 | index as u64)
+}
+
+/// A batch after the CPU-side sample + gather stages: everything the train
+/// stage needs, detached from the trainer so it can be produced by worker
+/// threads.
+pub struct PreparedBatch {
+    /// Position of this batch within its epoch (train order).
+    pub index: usize,
+    /// Bottom-first sampled block stack.
+    pub blocks: Vec<Block>,
+    /// Raw features of `blocks[0].src()`, one row per source vertex.
+    pub features: Matrix,
+}
+
+impl PreparedBatch {
+    /// Bytes this batch ships to the training device: gathered features
+    /// plus the sampled block structure (~8 bytes per edge).
+    pub fn h2d_bytes(&self) -> u64 {
+        let feat = (self.features.rows() * self.features.cols() * 4) as u64;
+        let structure: u64 = self.blocks.iter().map(|b| b.num_edges() as u64 * 8).sum();
+        feat + structure
+    }
+}
+
+/// What one epoch's batch loop produced, before test-set evaluation —
+/// see [`ConvergenceTrainer::train_batches`].
+pub struct BatchLoopStats {
+    /// Per-batch training losses, in epoch order.
+    pub losses: Vec<f32>,
+    /// §4.3's `ε = max‖ΔW‖∞ × 2n` over the epoch's super-batches (0 when
+    /// no reuse policy is active).
+    pub staleness_epsilon: f32,
+}
+
 /// A numeric trainer over a fully materialised [`Dataset`].
 pub struct ConvergenceTrainer {
-    dataset: Dataset,
+    dataset: Arc<Dataset>,
     config: TrainerConfig,
     model: GnnModel,
     sampler: NeighborSampler,
@@ -101,7 +151,10 @@ impl ConvergenceTrainer {
     /// Builds the trainer; `dataset` must carry features
     /// ([`neutron_graph::DatasetSpec::build_full`]).
     pub fn new(dataset: Dataset, config: TrainerConfig) -> Self {
-        assert!(dataset.features.is_some(), "convergence training needs features");
+        assert!(
+            dataset.features.is_some(),
+            "convergence training needs features"
+        );
         let model_cfg = ModelConfig {
             kind: config.kind,
             feature_dim: dataset.spec.feature_dim,
@@ -113,14 +166,17 @@ impl ConvergenceTrainer {
         let model = GnnModel::new(model_cfg);
         let fanout = Fanout::paper_default(config.layers);
         let sampler = NeighborSampler::new(fanout);
-        let batches =
-            BatchIterator::new(dataset.train.clone(), config.batch_size, config.seed);
+        let batches = BatchIterator::new(dataset.train.clone(), config.batch_size, config.seed);
         let (store, hot) = match &config.policy {
             ReusePolicy::Exact => (None, None),
-            ReusePolicy::GasLike => {
-                (Some(EmbeddingStore::new(dataset.spec.hidden_dim, None)), None)
-            }
-            ReusePolicy::HotnessAware { hot_ratio, super_batch } => {
+            ReusePolicy::GasLike => (
+                Some(EmbeddingStore::new(dataset.spec.hidden_dim, None)),
+                None,
+            ),
+            ReusePolicy::HotnessAware {
+                hot_ratio,
+                super_batch,
+            } => {
                 let hotness = PreSampler::new(1).estimate(
                     &dataset.csr,
                     &sampler,
@@ -130,27 +186,124 @@ impl ConvergenceTrainer {
                 let hot = hotness.hot_set(*hot_ratio);
                 // Strict bound 2n−1 (§4.2.2's largest possible gap).
                 let bound = (2 * super_batch - 1) as u64;
-                (Some(EmbeddingStore::new(dataset.spec.hidden_dim, Some(bound))), Some(hot))
+                (
+                    Some(EmbeddingStore::new(dataset.spec.hidden_dim, Some(bound))),
+                    Some(hot),
+                )
             }
         };
         let optimizer = Sgd::new(config.lr);
-        Self { dataset, config, model, sampler, batches, optimizer, store, hot, version: 0 }
+        Self {
+            dataset: Arc::new(dataset),
+            config,
+            model,
+            sampler,
+            batches,
+            optimizer,
+            store,
+            hot,
+            version: 0,
+        }
+    }
+
+    /// Shared handle to the dataset, for executors whose sample/gather
+    /// stages run on worker threads.
+    pub fn dataset_handle(&self) -> Arc<Dataset> {
+        Arc::clone(&self.dataset)
+    }
+
+    /// The neighbor sampler (cloneable for worker threads).
+    pub fn sampler(&self) -> &NeighborSampler {
+        &self.sampler
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// The shuffled batches of `epoch`, in train order.
+    pub fn epoch_batches(&self, epoch: usize) -> Vec<Vec<VertexId>> {
+        self.batches.epoch_batches(epoch)
+    }
+
+    /// The gather stage: collects the raw feature rows of `src` — the one
+    /// place the "Gather (FC)" work is implemented, shared by the
+    /// sequential trainer, the pipelined executor's gather workers, and
+    /// the hot-embedding refresh.
+    pub fn gather_features(dataset: &Dataset, src: &[VertexId]) -> Matrix {
+        let idx: Vec<usize> = src.iter().map(|&v| v as usize).collect();
+        dataset.features().gather_rows(&idx)
+    }
+
+    /// Runs the CPU sample + gather stages for one batch. Pure with respect
+    /// to trainer state, so any number of worker threads may prepare batches
+    /// concurrently; determinism is guaranteed by [`batch_sample_seed`].
+    pub fn prepare_batch(
+        dataset: &Dataset,
+        sampler: &NeighborSampler,
+        config_seed: u64,
+        epoch: usize,
+        index: usize,
+        batch: &[VertexId],
+    ) -> PreparedBatch {
+        let seed = batch_sample_seed(config_seed, epoch, index);
+        let blocks = sampler.sample_batch(&dataset.csr, batch, seed);
+        let features = Self::gather_features(dataset, blocks[0].src());
+        PreparedBatch {
+            index,
+            blocks,
+            features,
+        }
     }
 
     /// Trains one epoch and reports loss/accuracy/staleness, including the
     /// §4.3 weight-variation monitor `ε = max‖ΔW‖∞ × 2n` measured across
     /// the epoch's super-batches.
     pub fn train_epoch(&mut self, epoch: usize) -> EpochObservation {
-        let mut losses = Vec::new();
+        let dataset = self.dataset_handle();
+        let sampler = self.sampler.clone();
+        let config_seed = self.config.seed;
         let epoch_batches = self.batches.epoch_batches(epoch);
+        let items = epoch_batches.iter().enumerate().map(|(i, batch)| {
+            Self::prepare_batch(&dataset, &sampler, config_seed, epoch, i, batch)
+        });
+        self.train_epoch_with(items)
+    }
+
+    /// Trains one epoch from externally prepared batches — the entry point
+    /// of the pipelined executor. Batches must arrive in epoch order
+    /// (`index` 0, 1, 2, …); out-of-order delivery is a caller bug, caught
+    /// by an assertion, because the super-batch barrier and the model
+    /// version counter both advance with the train order.
+    pub fn train_epoch_with<I>(&mut self, prepared: I) -> EpochObservation
+    where
+        I: IntoIterator<Item = PreparedBatch>,
+    {
+        let stats = self.train_batches(prepared);
+        self.observe_epoch(stats)
+    }
+
+    /// The epoch's batch loop alone — training, the super-batch barrier and
+    /// the §4.3 weight-variation monitor, but no test-set evaluation.
+    /// Executors time this separately so throughput numbers measure
+    /// training, not inference.
+    pub fn train_batches<I>(&mut self, prepared: I) -> BatchLoopStats
+    where
+        I: IntoIterator<Item = PreparedBatch>,
+    {
+        let mut losses = Vec::new();
         let super_n = match &self.config.policy {
             ReusePolicy::HotnessAware { super_batch, .. } => *super_batch,
             _ => usize::MAX,
         };
         let mut max_delta = 0.0f32;
-        let mut snapshot =
-            (super_n != usize::MAX).then(|| self.model.snapshot());
-        for (bi, batch) in epoch_batches.iter().enumerate() {
+        let mut snapshot = (super_n != usize::MAX).then(|| self.model.snapshot());
+        for (bi, item) in prepared.into_iter().enumerate() {
+            assert_eq!(
+                item.index, bi,
+                "prepared batches must arrive in epoch order"
+            );
             if super_n != usize::MAX && bi % super_n == 0 {
                 // Super-batch boundary: measure how far the weights moved
                 // during the last super-batch, then refresh hot embeddings.
@@ -160,7 +313,7 @@ impl ConvergenceTrainer {
                 }
                 self.refresh_hot_embeddings();
             }
-            losses.push(self.train_batch(batch, epoch as u64 * 1000 + bi as u64));
+            losses.push(self.train_prepared(&item.blocks, &item.features));
             self.version += 1;
         }
         if let Some(snap) = &snapshot {
@@ -171,19 +324,27 @@ impl ConvergenceTrainer {
         } else {
             max_delta * 2.0 * super_n as f32
         };
-        EpochObservation {
-            train_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-            test_accuracy: self.evaluate(),
-            max_staleness: self.max_staleness(),
+        BatchLoopStats {
+            losses,
             staleness_epsilon,
         }
     }
 
-    fn train_batch(&mut self, batch: &[VertexId], sample_seed: u64) -> f32 {
-        let blocks =
-            self.sampler.sample_batch(&self.dataset.csr, batch, self.config.seed ^ sample_seed);
+    /// Completes an epoch observation from batch-loop statistics, running
+    /// the (exact, full-neighbor) test-set evaluation.
+    pub fn observe_epoch(&self, stats: BatchLoopStats) -> EpochObservation {
+        EpochObservation {
+            train_loss: stats.losses.iter().sum::<f32>() / stats.losses.len().max(1) as f32,
+            test_accuracy: self.evaluate(),
+            max_staleness: self.max_staleness(),
+            staleness_epsilon: stats.staleness_epsilon,
+        }
+    }
+
+    /// The train stage: forward/backward/step over one prepared batch,
+    /// splicing historical embeddings under the configured policy.
+    fn train_prepared(&mut self, blocks: &[Block], feats: &Matrix) -> f32 {
         let bottom = &blocks[0];
-        let feats = self.gather(bottom.src());
         // Collect bottom-layer overrides from the HE store.
         let mut overrides: Vec<(usize, Vec<f32>)> = Vec::new();
         if let Some(store) = &mut self.store {
@@ -205,7 +366,9 @@ impl ConvergenceTrainer {
             }
         }
         let frozen: Vec<usize> = overrides.iter().map(|(r, _)| *r).collect();
-        let pass = self.model.forward_with_bottom_override(&blocks, &feats, &overrides);
+        let pass = self
+            .model
+            .forward_with_bottom_override(blocks, feats, &overrides);
         // GAS records the embeddings it just computed (for the non-frozen
         // rows) so later batches can reuse them.
         if matches!(self.config.policy, ReusePolicy::GasLike) {
@@ -218,11 +381,18 @@ impl ConvergenceTrainer {
                 }
             }
         }
-        let labels: Vec<usize> =
-            blocks.last().unwrap().dst().iter().map(|&v| self.dataset.labels[v as usize]).collect();
+        let labels: Vec<usize> = blocks
+            .last()
+            .unwrap()
+            .dst()
+            .iter()
+            .map(|&v| self.dataset.labels[v as usize])
+            .collect();
         let lr = cross_entropy(pass.logits(), &labels);
         self.model.zero_grad();
-        let _ = self.model.backward_with_mask(&blocks, pass, &lr.d_logits, Some(&frozen));
+        let _ = self
+            .model
+            .backward_with_mask(blocks, pass, &lr.d_logits, Some(&frozen));
         let mut params = self.model.params_mut();
         self.optimizer.step(&mut params);
         lr.loss
@@ -244,7 +414,9 @@ impl ConvergenceTrainer {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(rng_seed);
         rng_seed = rng_seed.wrapping_add(1);
         let _ = rng_seed;
-        let block = self.sampler.sample_one_hop(&self.dataset.csr, &hot, fanout0, &mut rng);
+        let block = self
+            .sampler
+            .sample_one_hop(&self.dataset.csr, &hot, fanout0, &mut rng);
         let feats = self.gather(block.src());
         let (out, _ctx) = self.model.layers()[0].forward(&block, &feats);
         let version = self.version;
@@ -256,8 +428,7 @@ impl ConvergenceTrainer {
     }
 
     fn gather(&self, src: &[VertexId]) -> Matrix {
-        let idx: Vec<usize> = src.iter().map(|&v| v as usize).collect();
-        self.dataset.features().gather_rows(&idx)
+        Self::gather_features(&self.dataset, src)
     }
 
     /// Test accuracy with exact (non-stale, full-neighbor) inference.
@@ -271,8 +442,10 @@ impl ConvergenceTrainer {
                 neutron_sample::full_blocks(&self.dataset.csr, chunk, self.config.layers, 32);
             let feats = self.gather(blocks[0].src());
             let pass = self.model.forward(&blocks, &feats);
-            let labels: Vec<usize> =
-                chunk.iter().map(|&v| self.dataset.labels[v as usize]).collect();
+            let labels: Vec<usize> = chunk
+                .iter()
+                .map(|&v| self.dataset.labels[v as usize])
+                .collect();
             let acc = accuracy(pass.logits(), &labels);
             correct += (acc * labels.len() as f64).round() as usize;
             total += labels.len();
@@ -321,7 +494,11 @@ mod tests {
         for e in 1..8 {
             last = t.train_epoch(e);
         }
-        assert!(last.test_accuracy > 0.5, "accuracy {} too low", last.test_accuracy);
+        assert!(
+            last.test_accuracy > 0.5,
+            "accuracy {} too low",
+            last.test_accuracy
+        );
         assert!(last.train_loss < first.train_loss, "loss must decrease");
         assert_eq!(last.max_staleness, 0);
     }
@@ -329,18 +506,31 @@ mod tests {
     #[test]
     fn hotness_aware_respects_staleness_bound() {
         let n = 2;
-        let mut t = trainer(ReusePolicy::HotnessAware { hot_ratio: 0.3, super_batch: n });
+        let mut t = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.3,
+            super_batch: n,
+        });
         for e in 0..6 {
             let obs = t.train_epoch(e);
-            assert!(obs.max_staleness < 2 * n as u64, "gap {} ≥ 2n", obs.max_staleness);
+            assert!(
+                obs.max_staleness < 2 * n as u64,
+                "gap {} ≥ 2n",
+                obs.max_staleness
+            );
         }
-        assert!(t.embedding_reuses() > 0, "hot embeddings must actually be reused");
+        assert!(
+            t.embedding_reuses() > 0,
+            "hot embeddings must actually be reused"
+        );
     }
 
     #[test]
     fn hotness_aware_accuracy_close_to_exact() {
         let mut exact = trainer(ReusePolicy::Exact);
-        let mut ours = trainer(ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch: 4 });
+        let mut ours = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.2,
+            super_batch: 4,
+        });
         let mut acc_exact = 0.0;
         let mut acc_ours = 0.0;
         for e in 0..10 {
@@ -360,14 +550,20 @@ mod tests {
         // §4.3: convergence relies on the weights changing slowly; the
         // measured ε = max‖ΔW‖·2n should drop from the first epochs to the
         // last ones as SGD approaches a minimum.
-        let mut t = trainer(ReusePolicy::HotnessAware { hot_ratio: 0.25, super_batch: 2 });
+        let mut t = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.25,
+            super_batch: 2,
+        });
         let early = t.train_epoch(0).staleness_epsilon;
         let mut late = early;
         for e in 1..10 {
             late = t.train_epoch(e).staleness_epsilon;
         }
         assert!(early > 0.0, "monitor must be active under HE reuse");
-        assert!(late < early, "epsilon should shrink: early {early} late {late}");
+        assert!(
+            late < early,
+            "epsilon should shrink: early {early} late {late}"
+        );
         // Exact training reports no epsilon.
         let mut exact = trainer(ReusePolicy::Exact);
         assert_eq!(exact.train_epoch(0).staleness_epsilon, 0.0);
@@ -383,6 +579,9 @@ mod tests {
         assert!(t.embedding_reuses() > 0);
         // With 3+ batches per epoch and no version control, gaps exceed a
         // NeutronOrch-style bound of 2n for small n.
-        assert!(max_gap >= 2, "GAS-like staleness should be loose, got {max_gap}");
+        assert!(
+            max_gap >= 2,
+            "GAS-like staleness should be loose, got {max_gap}"
+        );
     }
 }

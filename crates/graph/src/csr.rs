@@ -40,9 +40,15 @@ impl Csr {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
         assert_eq!(*offsets.first().unwrap(), 0);
         assert_eq!(*offsets.last().unwrap() as usize, targets.len());
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
         let n = offsets.len() - 1;
-        assert!(targets.iter().all(|&t| (t as usize) < n), "target out of range");
+        assert!(
+            targets.iter().all(|&t| (t as usize) < n),
+            "target out of range"
+        );
         Self { offsets, targets }
     }
 
@@ -114,7 +120,9 @@ impl Csr {
     /// where `u ∈ N_in(v)`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices()).flat_map(move |v| {
-            self.neighbors(v as VertexId).iter().map(move |&u| (u, v as VertexId))
+            self.neighbors(v as VertexId)
+                .iter()
+                .map(move |&u| (u, v as VertexId))
         })
     }
 

@@ -190,7 +190,9 @@ impl DatasetSpec {
             172,
             64,
             216_797,
-            Topology::PreferentialAttachment { edges_per_vertex: 7 },
+            Topology::PreferentialAttachment {
+                edges_per_vertex: 7,
+            },
             0x05,
         )
     }
@@ -280,12 +282,14 @@ impl DatasetSpec {
         let (csr, labels) = match self.topology {
             Topology::Rmat(params) => {
                 let csr = rmat(self.vertices, self.edges, params, self.seed);
-                let labels = features::random_labels(self.vertices, self.num_classes, self.seed ^ 1);
+                let labels =
+                    features::random_labels(self.vertices, self.num_classes, self.seed ^ 1);
                 (csr, labels)
             }
             Topology::PreferentialAttachment { edges_per_vertex } => {
                 let csr = barabasi_albert(self.vertices, edges_per_vertex, self.seed);
-                let labels = features::random_labels(self.vertices, self.num_classes, self.seed ^ 1);
+                let labels =
+                    features::random_labels(self.vertices, self.num_classes, self.seed ^ 1);
                 (csr, labels)
             }
             Topology::Community { intra_prob } => {
@@ -314,7 +318,15 @@ impl DatasetSpec {
         } else {
             None
         };
-        Dataset { spec: self.clone(), csr, labels, train, test, val, features: feats }
+        Dataset {
+            spec: self.clone(),
+            csr,
+            labels,
+            train,
+            test,
+            val,
+            features: feats,
+        }
     }
 
     /// Bytes of one vertex's feature row (f32).
@@ -364,7 +376,11 @@ mod tests {
     fn scale_is_consistent_with_replica_size() {
         for spec in DatasetSpec::all_scaled() {
             let implied = spec.paper_vertices as f64 / spec.vertices as f64;
-            assert!((implied - spec.scale).abs() / spec.scale < 1e-9, "{}", spec.name);
+            assert!(
+                (implied - spec.scale).abs() / spec.scale < 1e-9,
+                "{}",
+                spec.name
+            );
             assert!(spec.scale >= 1.0);
         }
     }
@@ -397,7 +413,10 @@ mod tests {
         let d = small.build_topology();
         let paper_avg = spec.paper_edges as f64 / spec.paper_vertices as f64;
         let got = d.csr.avg_degree();
-        assert!(got > paper_avg / 2.0 && got < paper_avg * 2.0, "avg degree {got} vs paper {paper_avg}");
+        assert!(
+            got > paper_avg / 2.0 && got < paper_avg * 2.0,
+            "avg degree {got} vs paper {paper_avg}"
+        );
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &Csr) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, avg: 0.0, top_decile_edge_share: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            avg: 0.0,
+            top_decile_edge_share: 0.0,
+        };
     }
     let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
     let min = *degs.iter().min().unwrap();
@@ -31,7 +36,11 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
         min,
         max,
         avg: total as f64 / n as f64,
-        top_decile_edge_share: if total == 0 { 0.0 } else { top as f64 / total as f64 },
+        top_decile_edge_share: if total == 0 {
+            0.0
+        } else {
+            top as f64 / total as f64
+        },
     }
 }
 

@@ -16,7 +16,13 @@ pub fn random_features(num_vertices: usize, dim: usize, seed: u64) -> Matrix {
 /// `signal` controls separability (centroid norm relative to unit noise).
 /// The convergence experiments use these so that accuracy actually improves
 /// over epochs.
-pub fn class_features(labels: &[usize], num_classes: usize, dim: usize, signal: f32, seed: u64) -> Matrix {
+pub fn class_features(
+    labels: &[usize],
+    num_classes: usize,
+    dim: usize,
+    signal: f32,
+    seed: u64,
+) -> Matrix {
     let centroids = init::normal(num_classes, dim, signal, seed ^ 0x9e37_79b9);
     let noise = init::normal(labels.len(), dim, 1.0, seed);
     let mut out = noise;
@@ -34,7 +40,9 @@ pub fn class_features(labels: &[usize], num_classes: usize, dim: usize, signal: 
 /// inspected beyond their byte size.
 pub fn random_labels(num_vertices: usize, num_classes: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..num_vertices).map(|_| rng.random_range(0..num_classes)).collect()
+    (0..num_vertices)
+        .map(|_| rng.random_range(0..num_classes))
+        .collect()
 }
 
 /// Splits `num_vertices` vertex ids into (train, test, val) sets with the
@@ -84,7 +92,12 @@ mod tests {
         };
         let c0 = centroid(0);
         let c1 = centroid(1);
-        let dist: f32 = c0.iter().zip(&c1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dist: f32 = c0
+            .iter()
+            .zip(&c1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist > 2.0, "class centroids too close: {dist}");
     }
 

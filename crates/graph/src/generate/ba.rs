@@ -11,7 +11,10 @@ use rand::{RngExt, SeedableRng};
 /// Produces the power-law in-degree tail of citation networks; used for the
 /// Papers100M replica.
 pub fn barabasi_albert(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> Csr {
-    assert!(num_vertices > edges_per_vertex, "graph too small for attachment count");
+    assert!(
+        num_vertices > edges_per_vertex,
+        "graph too small for attachment count"
+    );
     assert!(edges_per_vertex >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let m = edges_per_vertex;

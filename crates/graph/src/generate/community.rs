@@ -48,7 +48,10 @@ pub fn planted_partition(
         };
         builder.add_edge(s as VertexId, d as VertexId);
     }
-    PlantedPartition { csr: builder.build(), labels }
+    PlantedPartition {
+        csr: builder.build(),
+        labels,
+    }
 }
 
 impl PlantedPartition {

@@ -25,7 +25,11 @@ mod tests {
     #[test]
     fn approximate_edge_count() {
         let g = erdos_renyi(1000, 20_000, 5);
-        assert!(g.num_edges() > 15_000 && g.num_edges() <= 20_000, "got {}", g.num_edges());
+        assert!(
+            g.num_edges() > 15_000 && g.num_edges() <= 20_000,
+            "got {}",
+            g.num_edges()
+        );
     }
 
     #[test]
@@ -33,6 +37,9 @@ mod tests {
         let g = erdos_renyi(500, 20_000, 6);
         let max_deg = (0..500).map(|v| g.degree(v)).max().unwrap();
         let avg = g.avg_degree();
-        assert!((max_deg as f64) < 3.0 * avg, "ER should have no hubs: {max_deg} vs {avg}");
+        assert!(
+            (max_deg as f64) < 3.0 * avg,
+            "ER should have no hubs: {max_deg} vs {avg}"
+        );
     }
 }

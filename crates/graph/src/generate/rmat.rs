@@ -18,17 +18,30 @@ impl RmatParams {
     /// Graph500 reference parameters — strong degree skew, the regime of the
     /// paper's social-network datasets.
     pub fn graph500() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 
     /// Milder skew, closer to co-purchase networks (Products).
     pub fn mild() -> Self {
-        Self { a: 0.45, b: 0.22, c: 0.22, d: 0.11 }
+        Self {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
     }
 
     fn validate(&self) {
         let s = self.a + self.b + self.c + self.d;
-        assert!((s - 1.0).abs() < 1e-9, "R-MAT probabilities sum to {s}, expected 1");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "R-MAT probabilities sum to {s}, expected 1"
+        );
         assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0);
     }
 }
@@ -116,6 +129,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "probabilities sum")]
     fn rejects_bad_params() {
-        let _ = rmat(10, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+        let _ = rmat(
+            10,
+            10,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
     }
 }

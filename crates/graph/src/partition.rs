@@ -63,7 +63,9 @@ pub fn range_partition(num_vertices: usize, parts: usize) -> Partition {
     let chunk = num_vertices.div_ceil(parts);
     Partition {
         parts,
-        assignment: (0..num_vertices).map(|v| (v / chunk.max(1)).min(parts - 1) as u32).collect(),
+        assignment: (0..num_vertices)
+            .map(|v| (v / chunk.max(1)).min(parts - 1) as u32)
+            .collect(),
     }
 }
 

@@ -33,7 +33,11 @@ impl CostModel {
     pub fn new(hw: HardwareSpec) -> Self {
         let sample_threads = (hw.cpu.cores / 3.0).max(1.0);
         let gather_threads = (hw.cpu.cores / 3.0).max(1.0);
-        Self { hw, sample_threads, gather_threads }
+        Self {
+            hw,
+            sample_threads,
+            gather_threads,
+        }
     }
 
     /// The wrapped hardware.
@@ -44,28 +48,40 @@ impl CostModel {
     /// CPU neighbor sampling of `edges` sampled edges.
     pub fn cpu_sample(&self, edges: u64) -> Cost {
         let per_core = self.hw.cpu.sample_edges_per_core_sec;
-        Cost { work: edges as f64 / per_core, demand: self.sample_threads }
+        Cost {
+            work: edges as f64 / per_core,
+            demand: self.sample_threads,
+        }
     }
 
     /// GPU neighbor sampling of `edges` sampled edges. Sampling kernels are
     /// memory-latency bound and cap at `sample_max_demand` of the device.
     pub fn gpu_sample(&self, edges: u64) -> Cost {
         let demand = self.hw.gpu.sample_max_demand;
-        Cost { work: edges as f64 / self.hw.gpu.sample_edges_per_sec, demand }
+        Cost {
+            work: edges as f64 / self.hw.gpu.sample_edges_per_sec,
+            demand,
+        }
     }
 
     /// Host-side feature collection of `bytes` (random row gather into a
     /// contiguous staging buffer — the "FC" cost of Table 2).
     pub fn cpu_collect(&self, bytes: u64) -> Cost {
         let per_core = self.hw.cpu.gather_bytes_per_core_sec;
-        Cost { work: bytes as f64 / per_core, demand: self.gather_threads }
+        Cost {
+            work: bytes as f64 / per_core,
+            demand: self.gather_threads,
+        }
     }
 
     /// Host→device transfer of `bytes` over PCIe (the "FT" cost). The
     /// per-transfer latency is folded into work at full bandwidth.
     pub fn pcie_transfer(&self, bytes: u64) -> Cost {
         let bw = self.hw.pcie.bandwidth;
-        Cost { work: bytes as f64 + self.hw.pcie.latency * bw, demand: bw }
+        Cost {
+            work: bytes as f64 + self.hw.pcie.latency * bw,
+            demand: bw,
+        }
     }
 
     /// Zero-copy (UVA) access of `bytes` over PCIe: same volume, lower
@@ -73,7 +89,10 @@ impl CostModel {
     pub fn uva_transfer(&self, bytes: u64) -> Cost {
         let bw = self.hw.pcie.bandwidth;
         // Fine-grained access reaches ~60% of streaming bandwidth.
-        Cost { work: bytes as f64 / 0.6 + self.hw.pcie.latency * bw, demand: bw }
+        Cost {
+            work: bytes as f64 / 0.6 + self.hw.pcie.latency * bw,
+            demand: bw,
+        }
     }
 
     /// GPU training over `flops` with kernels launched over `rows` rows —
@@ -81,21 +100,30 @@ impl CostModel {
     /// and leave the device under-utilised (Fig 6a).
     pub fn gpu_train(&self, flops: u64, rows: u64) -> Cost {
         let demand = self.hw.gpu_efficiency(rows as f64);
-        Cost { work: flops as f64 / self.hw.gpu.flops, demand }
+        Cost {
+            work: flops as f64 / self.hw.gpu.flops,
+            demand,
+        }
     }
 
     /// CPU dense compute of `flops` over `cores` cores (bottom-layer
     /// embedding computation in NeutronOrch).
     pub fn cpu_compute(&self, flops: u64, cores: f64) -> Cost {
         let cores = cores.min(self.hw.cpu.cores).max(1.0);
-        Cost { work: flops as f64 / self.hw.cpu.flops_per_core, demand: cores }
+        Cost {
+            work: flops as f64 / self.hw.cpu.flops_per_core,
+            demand: cores,
+        }
     }
 
     /// GPU↔GPU synchronisation of `bytes` (gradient all-reduce). Uses
     /// NVLink when present, PCIe otherwise.
     pub fn gpu_sync(&self, bytes: u64) -> Cost {
         match self.hw.nvlink {
-            Some(link) => Cost { work: bytes as f64 + link.latency * link.bandwidth, demand: link.bandwidth },
+            Some(link) => Cost {
+                work: bytes as f64 + link.latency * link.bandwidth,
+                demand: link.bandwidth,
+            },
             None => self.pcie_transfer(bytes),
         }
     }
@@ -160,9 +188,12 @@ mod tests {
         let single = CostModel::new(HardwareSpec::v100_server(1.0));
         let multi = CostModel::new(HardwareSpec::dgx1_like(8, 1.0));
         let bytes = 100_000_000u64;
-        let over_pcie = CostModel::solo_seconds(single.gpu_sync(bytes), single.hardware().pcie.bandwidth);
-        let over_nvlink =
-            CostModel::solo_seconds(multi.gpu_sync(bytes), multi.hardware().nvlink.unwrap().bandwidth);
+        let over_pcie =
+            CostModel::solo_seconds(single.gpu_sync(bytes), single.hardware().pcie.bandwidth);
+        let over_nvlink = CostModel::solo_seconds(
+            multi.gpu_sync(bytes),
+            multi.hardware().nvlink.unwrap().bandwidth,
+        );
         assert!(over_nvlink < over_pcie);
     }
 }

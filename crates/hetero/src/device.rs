@@ -99,14 +99,27 @@ impl HardwareSpec {
         };
         // PCIe 3.0 x16 is 12 GB/s nominal; pageable, fragmented GNN feature
         // copies sustain roughly half of that in practice.
-        let pcie = LinkSpec { bandwidth: 6.0e9, latency: 10.0e-6 };
+        let pcie = LinkSpec {
+            bandwidth: 6.0e9,
+            latency: 10.0e-6,
+        };
         let (num_gpus, nvlink) = match profile {
             DeviceProfile::V100Server => (1, None),
-            DeviceProfile::Dgx1Like => {
-                (8, Some(LinkSpec { bandwidth: 150.0e9, latency: 3.0e-6 }))
-            }
+            DeviceProfile::Dgx1Like => (
+                8,
+                Some(LinkSpec {
+                    bandwidth: 150.0e9,
+                    latency: 3.0e-6,
+                }),
+            ),
         };
-        Self { cpu, gpu: v100, num_gpus, pcie, nvlink }
+        Self {
+            cpu,
+            gpu: v100,
+            num_gpus,
+            pcie,
+            nvlink,
+        }
     }
 
     /// Single-GPU paper testbed at a replica scale.

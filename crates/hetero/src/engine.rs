@@ -78,7 +78,10 @@ pub struct RunReport {
 impl RunReport {
     /// Utilization of the resource whose name matches exactly.
     pub fn utilization_of(&self, name: &str) -> Option<f64> {
-        self.resource_names.iter().position(|n| n == name).map(|i| self.utilization[i])
+        self.resource_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.utilization[i])
     }
 
     /// Busy seconds of a task kind (0 when absent).
@@ -103,7 +106,10 @@ impl Engine {
     /// Registers a capacity pool (e.g. "cpu" with 48 cores, "gpu0" with 1.0).
     pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
         assert!(capacity > 0.0);
-        self.resources.push(Resource { name: name.into(), capacity });
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity,
+        });
         ResourceId(self.resources.len() - 1)
     }
 
@@ -189,7 +195,14 @@ impl Engine {
                     self.tasks[i].start_time = Some(now);
                 }
                 if self.tasks[i].remaining <= 0.0 {
-                    Self::complete(&mut self.tasks, &dependents, i, now, &mut ready, &mut finished);
+                    Self::complete(
+                        &mut self.tasks,
+                        &dependents,
+                        i,
+                        now,
+                        &mut ready,
+                        &mut finished,
+                    );
                 } else {
                     running.push(i);
                 }
@@ -219,18 +232,35 @@ impl Engine {
             for (&i, &r) in running.iter().zip(&rates) {
                 self.tasks[i].remaining -= r * dt;
                 if self.tasks[i].remaining <= 1e-12 {
-                    Self::complete(&mut self.tasks, &dependents, i, now, &mut ready, &mut finished);
+                    Self::complete(
+                        &mut self.tasks,
+                        &dependents,
+                        i,
+                        now,
+                        &mut ready,
+                        &mut finished,
+                    );
                 } else {
                     still_running.push(i);
                 }
             }
             running = still_running;
         }
-        assert_eq!(finished, n, "cycle in task graph: {} of {n} finished", finished);
+        assert_eq!(
+            finished, n,
+            "cycle in task graph: {} of {n} finished",
+            finished
+        );
         let utilization = busy_integral
             .iter()
             .zip(&self.resources)
-            .map(|(b, r)| if now > 0.0 { (b / (r.capacity * now)).min(1.0) } else { 0.0 })
+            .map(|(b, r)| {
+                if now > 0.0 {
+                    (b / (r.capacity * now)).min(1.0)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let report = RunReport {
             makespan: now,
@@ -326,8 +356,7 @@ impl Engine {
         for i in 0..self.tasks.len() {
             let t = &self.tasks[i];
             let own = if t.work > 0.0 { t.work / t.demand } else { 0.0 };
-            let dep_max =
-                t.deps.iter().map(|d| longest[d.0]).fold(0.0f64, f64::max);
+            let dep_max = t.deps.iter().map(|d| longest[d.0]).fold(0.0f64, f64::max);
             longest[i] = dep_max + own;
         }
         longest.into_iter().fold(0.0, f64::max)

@@ -1,7 +1,7 @@
 //! ASCII Gantt rendering of execution traces — the Fig 5 / Fig 9 pipeline
 //! pictures, regenerated from actual simulated schedules.
 
-use crate::engine::{RunReport, TraceSpan, TaskKind};
+use crate::engine::{RunReport, TaskKind, TraceSpan};
 
 /// Single-letter lane symbol per task kind.
 pub fn kind_symbol(kind: TaskKind) -> char {
@@ -31,10 +31,20 @@ pub fn render_gantt(report: &RunReport, spans: &[TraceSpan], width: usize) -> St
         let b1 = (((s.finish / span_total) * width as f64).ceil() as usize).max(b0 + 1);
         let symbol = kind_symbol(s.kind);
         for cell in row.iter_mut().take(b1.min(width)).skip(b0.min(width - 1)) {
-            *cell = if *cell == '.' || *cell == symbol { symbol } else { '#' };
+            *cell = if *cell == '.' || *cell == symbol {
+                symbol
+            } else {
+                '#'
+            };
         }
     }
-    let name_w = report.resource_names.iter().map(String::len).max().unwrap_or(4).max(4);
+    let name_w = report
+        .resource_names
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(4)
+        .max(4);
     let mut out = String::new();
     out.push_str(&format!(
         "{:<name_w$} |{}| ({:.2}s)\n",
@@ -47,7 +57,9 @@ pub fn render_gantt(report: &RunReport, spans: &[TraceSpan], width: usize) -> St
         out.extend(row);
         out.push_str("|\n");
     }
-    out.push_str("legend: S sample, G collect, F transfer, T train, H hot-embed, Y sync, # overlap\n");
+    out.push_str(
+        "legend: S sample, G collect, F transfer, T train, H hot-embed, Y sync, # overlap\n",
+    );
     out
 }
 
@@ -84,7 +96,10 @@ mod tests {
         e.add_task(gpu, TaskKind::Sample, 1.0, 0.8, &[]);
         let (report, spans) = e.run_traced();
         let g = render_gantt(&report, &spans, 16);
-        assert!(g.contains('#'), "concurrent kernels must render as overlap: {g}");
+        assert!(
+            g.contains('#'),
+            "concurrent kernels must render as overlap: {g}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct MemLedger {
 impl MemLedger {
     /// Ledger over `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, regions: BTreeMap::new() }
+        Self {
+            capacity,
+            regions: BTreeMap::new(),
+        }
     }
 
     /// Allocates (or grows) a named region. Fails with [`OomError`] if the

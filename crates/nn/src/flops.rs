@@ -24,9 +24,7 @@ pub fn layer_forward_flops(
         LayerKind::Sage => 2 * num_edges * in_dim + 4 * num_dst * in_dim * out_dim,
         // projection for all src, per-edge score (2·out MACs) + softmax +
         // weighted sum (out MACs per edge incl self).
-        LayerKind::Gat => {
-            2 * num_src * in_dim * out_dim + (num_edges + num_dst) * (6 * out_dim)
-        }
+        LayerKind::Gat => 2 * num_src * in_dim * out_dim + (num_edges + num_dst) * (6 * out_dim),
     }
 }
 

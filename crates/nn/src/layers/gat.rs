@@ -52,7 +52,11 @@ impl GatLayer {
             weight: Param::new(init::xavier_uniform(in_dim, out_dim, seed)),
             attn_src: Param::new(init::normal(1, out_dim, 0.3, seed ^ 0x11)),
             attn_dst: Param::new(init::normal(1, out_dim, 0.3, seed ^ 0x22)),
-            activation: if last { Activation::Identity } else { Activation::Elu },
+            activation: if last {
+                Activation::Identity
+            } else {
+                Activation::Elu
+            },
         }
     }
 
@@ -105,7 +109,16 @@ impl GatLayer {
             alpha.extend_from_slice(&scores);
         }
         let out = self.activation.forward(&z);
-        (out, GatCtx { input: input.clone(), s, z, alpha, raw })
+        (
+            out,
+            GatCtx {
+                input: input.clone(),
+                s,
+                z,
+                alpha,
+                raw,
+            },
+        )
     }
 
     /// Backward pass; returns `∂L/∂input`.
@@ -127,8 +140,9 @@ impl GatLayer {
             let alphas = &ctx.alpha[cursor..cursor + edges];
             let raws = &ctx.raw[cursor..cursor + edges];
             let g = dz.row(i).to_vec();
-            let d_alpha: Vec<f32> =
-                Self::edge_locals(block, i).map(|j| dot(&g, ctx.s.row(j))).collect();
+            let d_alpha: Vec<f32> = Self::edge_locals(block, i)
+                .map(|j| dot(&g, ctx.s.row(j)))
+                .collect();
             // Softmax Jacobian: de_k = α_k (dα_k − Σ α·dα).
             let weighted: f32 = alphas.iter().zip(&d_alpha).map(|(a, d)| a * d).sum();
             for (k, j) in Self::edge_locals(block, i).enumerate() {

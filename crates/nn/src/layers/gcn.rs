@@ -37,7 +37,11 @@ impl GcnLayer {
         Self {
             weight: Param::new(init::xavier_uniform(in_dim, out_dim, seed)),
             bias: Param::new(Matrix::zeros(1, out_dim)),
-            activation: if last { Activation::Identity } else { Activation::Relu },
+            activation: if last {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            },
         }
     }
 

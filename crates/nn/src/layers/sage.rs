@@ -37,7 +37,11 @@ impl SageLayer {
             w_self: Param::new(init::xavier_uniform(in_dim, out_dim, seed)),
             w_neigh: Param::new(init::xavier_uniform(in_dim, out_dim, seed ^ 0xa5a5)),
             bias: Param::new(Matrix::zeros(1, out_dim)),
-            activation: if last { Activation::Identity } else { Activation::Relu },
+            activation: if last {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            },
         }
     }
 
@@ -69,13 +73,23 @@ impl SageLayer {
         ops::add_assign(&mut z, &ops::matmul(&neigh, &self.w_neigh.value));
         ops::add_bias_row(&mut z, &self.bias.value);
         let out = self.activation.forward(&z);
-        (out, SageCtx { self_rows, neigh, z })
+        (
+            out,
+            SageCtx {
+                self_rows,
+                neigh,
+                z,
+            },
+        )
     }
 
     /// Backward pass; returns `∂L/∂input`.
     pub fn backward(&mut self, block: &Block, ctx: SageCtx, d_out: &Matrix) -> Matrix {
         let dz = self.activation.backward(&ctx.z, d_out);
-        ops::add_assign(&mut self.w_self.grad, &ops::matmul_at_b(&ctx.self_rows, &dz));
+        ops::add_assign(
+            &mut self.w_self.grad,
+            &ops::matmul_at_b(&ctx.self_rows, &dz),
+        );
         ops::add_assign(&mut self.w_neigh.grad, &ops::matmul_at_b(&ctx.neigh, &dz));
         ops::add_assign(&mut self.bias.grad, &ops::sum_rows(&dz));
         let d_self = ops::matmul_a_bt(&dz, &self.w_self.value);

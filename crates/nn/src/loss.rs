@@ -16,7 +16,10 @@ pub struct LossResult {
 pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> LossResult {
     let sce = softmax_cross_entropy(logits, labels);
     let d_logits = softmax_cross_entropy_grad(&sce.probs, labels);
-    LossResult { loss: sce.loss, d_logits }
+    LossResult {
+        loss: sce.loss,
+        d_logits,
+    }
 }
 
 #[cfg(test)]

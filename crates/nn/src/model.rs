@@ -24,8 +24,20 @@ pub struct ModelConfig {
 
 impl ModelConfig {
     /// The paper's default 3-layer configuration for a dataset shape.
-    pub fn paper_default(kind: LayerKind, feature_dim: usize, hidden_dim: usize, num_classes: usize) -> Self {
-        Self { kind, feature_dim, hidden_dim, num_classes, layers: 3, seed: 0x5eed }
+    pub fn paper_default(
+        kind: LayerKind,
+        feature_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+    ) -> Self {
+        Self {
+            kind,
+            feature_dim,
+            hidden_dim,
+            num_classes,
+            layers: 3,
+            seed: 0x5eed,
+        }
     }
 
     /// Per-layer `(in_dim, out_dim)` pairs, bottom first.
@@ -33,8 +45,16 @@ impl ModelConfig {
         assert!(self.layers >= 1);
         (0..self.layers)
             .map(|l| {
-                let in_dim = if l == 0 { self.feature_dim } else { self.hidden_dim };
-                let out_dim = if l + 1 == self.layers { self.num_classes } else { self.hidden_dim };
+                let in_dim = if l == 0 {
+                    self.feature_dim
+                } else {
+                    self.hidden_dim
+                };
+                let out_dim = if l + 1 == self.layers {
+                    self.num_classes
+                } else {
+                    self.hidden_dim
+                };
                 (in_dim, out_dim)
             })
             .collect()
@@ -70,7 +90,13 @@ impl GnnModel {
             .iter()
             .enumerate()
             .map(|(l, &(i, o))| {
-                Layer::new(config.kind, i, o, l + 1 == dims.len(), config.seed ^ (l as u64) << 8)
+                Layer::new(
+                    config.kind,
+                    i,
+                    o,
+                    l + 1 == dims.len(),
+                    config.seed ^ (l as u64) << 8,
+                )
             })
             .collect();
         Self { layers, config }
@@ -184,7 +210,10 @@ impl GnnModel {
 
     /// All parameters mutably, bottom layer first (optimizer entry point).
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total trainable scalars.
@@ -297,7 +326,11 @@ mod tests {
         let all_rows: Vec<usize> = (0..pass2.outputs[0].rows()).collect();
         let d = Matrix::full(5, 3, 0.3);
         let d_feat = model.backward_with_mask(&blocks, pass2, &d, Some(&all_rows));
-        assert_eq!(d_feat.frobenius_norm(), 0.0, "no gradient may reach features");
+        assert_eq!(
+            d_feat.frobenius_norm(),
+            0.0,
+            "no gradient may reach features"
+        );
         let bottom_grad_norm = model.layers()[0].params()[0].grad.frobenius_norm();
         assert_eq!(bottom_grad_norm, 0.0, "bottom layer grads must be cut");
     }

@@ -20,7 +20,14 @@ impl Adam {
     /// Creates Adam with the standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0);
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 }
 
@@ -35,7 +42,11 @@ impl Optimizer for Adam {
                 })
                 .collect();
         }
-        assert_eq!(self.moments.len(), params.len(), "param list must be stable");
+        assert_eq!(
+            self.moments.len(),
+            params.len(),
+            "param list must be stable"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -75,7 +86,11 @@ mod tests {
             p.grad.set(0, 0, 2.0 * (w - 3.0));
             opt.step(&mut [&mut p]);
         }
-        assert!((p.value.get(0, 0) - 3.0).abs() < 0.05, "got {}", p.value.get(0, 0));
+        assert!(
+            (p.value.get(0, 0) - 3.0).abs() < 0.05,
+            "got {}",
+            p.value.get(0, 0)
+        );
     }
 
     #[test]

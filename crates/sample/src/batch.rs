@@ -19,7 +19,11 @@ impl BatchIterator {
     /// Creates an iterator factory over `train` vertices.
     pub fn new(train: Vec<VertexId>, batch_size: usize, seed: u64) -> Self {
         assert!(batch_size > 0);
-        Self { train, batch_size, seed }
+        Self {
+            train,
+            batch_size,
+            seed,
+        }
     }
 
     /// Number of batches per epoch (last one may be short).
@@ -40,7 +44,8 @@ impl BatchIterator {
     /// Returns the shuffled batches for `epoch`.
     pub fn epoch_batches(&self, epoch: usize) -> Vec<Vec<VertexId>> {
         let mut ids = self.train.clone();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         for i in (1..ids.len()).rev() {
             let j = rng.random_range(0..=i);
             ids.swap(i, j);

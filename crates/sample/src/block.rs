@@ -22,13 +22,26 @@ pub struct Block {
 
 impl Block {
     /// Assembles a block, validating the src-prefix convention.
-    pub fn new(dst: Vec<VertexId>, src: Vec<VertexId>, offsets: Vec<u32>, indices: Vec<u32>) -> Self {
+    pub fn new(
+        dst: Vec<VertexId>,
+        src: Vec<VertexId>,
+        offsets: Vec<u32>,
+        indices: Vec<u32>,
+    ) -> Self {
         assert_eq!(offsets.len(), dst.len() + 1);
         assert_eq!(*offsets.last().unwrap_or(&0) as usize, indices.len());
         assert!(src.len() >= dst.len(), "src must contain dst as prefix");
-        debug_assert!(dst.iter().zip(&src).all(|(a, b)| a == b), "src prefix must equal dst");
+        debug_assert!(
+            dst.iter().zip(&src).all(|(a, b)| a == b),
+            "src prefix must equal dst"
+        );
         debug_assert!(indices.iter().all(|&i| (i as usize) < src.len()));
-        Self { dst, src, offsets, indices }
+        Self {
+            dst,
+            src,
+            offsets,
+            indices,
+        }
     }
 
     /// Destination (output) vertices, in order.
@@ -103,7 +116,12 @@ mod tests {
     fn sample_block() -> Block {
         // dst = [10, 20]; src = [10, 20, 30, 40];
         // 10 aggregates from {30}, 20 aggregates from {30, 40}.
-        Block::new(vec![10, 20], vec![10, 20, 30, 40], vec![0, 1, 3], vec![2, 2, 3])
+        Block::new(
+            vec![10, 20],
+            vec![10, 20, 30, 40],
+            vec![0, 1, 3],
+            vec![2, 2, 3],
+        )
     }
 
     #[test]

@@ -10,7 +10,10 @@ impl Fanout {
     /// Builds a fanout from bottom-first counts. Must be non-empty.
     pub fn new(bottom_first: Vec<usize>) -> Self {
         assert!(!bottom_first.is_empty(), "fanout needs at least one layer");
-        assert!(bottom_first.iter().all(|&f| f > 0), "fanouts must be positive");
+        assert!(
+            bottom_first.iter().all(|&f| f > 0),
+            "fanouts must be positive"
+        );
         Self(bottom_first)
     }
 

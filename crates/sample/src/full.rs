@@ -30,8 +30,11 @@ pub fn full_blocks(g: &Csr, seeds: &[VertexId], layers: usize, cap: usize) -> Ve
 pub fn full_one_hop(g: &Csr, frontier: &[VertexId], cap: usize) -> Block {
     let dst: Vec<VertexId> = frontier.to_vec();
     let mut src: Vec<VertexId> = dst.clone();
-    let mut local: HashMap<VertexId, u32> =
-        dst.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let mut local: HashMap<VertexId, u32> = dst
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
     let mut offsets = Vec::with_capacity(dst.len() + 1);
     offsets.push(0u32);
     let mut indices = Vec::new();
@@ -72,7 +75,11 @@ mod tests {
         let g = erdos_renyi(200, 8000, 2);
         let a = full_blocks(&g, &[5], 2, 3);
         let b = full_blocks(&g, &[5], 2, 3);
-        assert_eq!(a[0].src(), b[0].src(), "capped prefix must be deterministic");
+        assert_eq!(
+            a[0].src(),
+            b[0].src(),
+            "capped prefix must be deterministic"
+        );
         for blocks in [&a, &b] {
             for block in blocks.iter() {
                 for i in 0..block.num_dst() {

@@ -54,7 +54,11 @@ impl HotnessRanking {
         if total == 0 {
             return 0.0;
         }
-        let covered: u64 = hot.hot.iter().map(|&v| self.counts[v as usize] as u64).sum();
+        let covered: u64 = hot
+            .hot
+            .iter()
+            .map(|&v| self.counts[v as usize] as u64)
+            .sum();
         covered as f64 / total as f64
     }
 }

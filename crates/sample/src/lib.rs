@@ -22,9 +22,9 @@ pub mod presample;
 pub mod stats;
 
 pub use batch::BatchIterator;
-pub use full::{full_blocks, full_one_hop};
 pub use block::Block;
 pub use fanout::Fanout;
+pub use full::{full_blocks, full_one_hop};
 pub use hotness::{HotSet, HotnessRanking};
 pub use neighbor::NeighborSampler;
 pub use presample::PreSampler;

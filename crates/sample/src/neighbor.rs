@@ -57,8 +57,11 @@ impl NeighborSampler {
     ) -> Block {
         let dst: Vec<VertexId> = frontier.to_vec();
         let mut src: Vec<VertexId> = dst.clone();
-        let mut local: HashMap<VertexId, u32> =
-            dst.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let mut local: HashMap<VertexId, u32> = dst
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         let mut offsets = Vec::with_capacity(dst.len() + 1);
         offsets.push(0u32);
         let mut indices = Vec::with_capacity(dst.len() * fanout);
@@ -118,7 +121,15 @@ mod tests {
 
     fn line_graph(n: usize) -> Csr {
         // v aggregates from v-1.
-        let adj = (0..n).map(|v| if v == 0 { vec![] } else { vec![(v - 1) as VertexId] }).collect();
+        let adj = (0..n)
+            .map(|v| {
+                if v == 0 {
+                    vec![]
+                } else {
+                    vec![(v - 1) as VertexId]
+                }
+            })
+            .collect();
         Csr::from_adjacency(adj)
     }
 
@@ -163,7 +174,10 @@ mod tests {
             for &li in b.neighbors_local(i) {
                 let u = b.src()[li as usize];
                 assert!(seen.insert(u), "duplicate neighbor {u} for {v}");
-                assert!(g.neighbors(v).contains(&u), "{u} not a real neighbor of {v}");
+                assert!(
+                    g.neighbors(v).contains(&u),
+                    "{u} not a real neighbor of {v}"
+                );
             }
         }
     }

@@ -41,8 +41,7 @@ impl PreSampler {
         let mut counts = vec![0u32; g.num_vertices()];
         for epoch in 0..self.epochs {
             for (bi, batch) in batches.epoch_batches(epoch).iter().enumerate() {
-                let blocks =
-                    sampler.sample_batch(g, batch, seed ^ ((epoch * 131 + bi) as u64));
+                let blocks = sampler.sample_batch(g, batch, seed ^ ((epoch * 131 + bi) as u64));
                 for &v in blocks[0].src() {
                     counts[v as usize] += 1;
                 }
@@ -73,7 +72,10 @@ mod tests {
         let total: u64 = (0..800).map(|v| ranking.count(v) as u64).sum();
         // Uniform access would give the decile 10%; skew should at least
         // double that.
-        assert!(top as f64 > 0.20 * total as f64, "top decile {top} of {total}");
+        assert!(
+            top as f64 > 0.20 * total as f64,
+            "top decile {top} of {total}"
+        );
     }
 
     #[test]

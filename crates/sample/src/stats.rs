@@ -66,7 +66,12 @@ impl SampleStats {
                 }
             }
         }
-        Self { layers, bottom_hot_src, bottom_cold_src, bottom_cold_edges }
+        Self {
+            layers,
+            bottom_hot_src,
+            bottom_cold_src,
+            bottom_cold_edges,
+        }
     }
 
     /// Total sampled edges across all layers.
@@ -171,8 +176,14 @@ mod tests {
         let ranking = crate::hotness::HotnessRanking::from_counts(counts);
         let hot = ranking.hot_set(0.2);
         let stats = SampleStats::measure(&blocks, Some(&hot));
-        assert_eq!(stats.bottom_hot_src + stats.bottom_cold_src, blocks[0].num_src());
-        assert!(stats.bottom_hot_src > 0, "20% hottest should appear in samples");
+        assert_eq!(
+            stats.bottom_hot_src + stats.bottom_cold_src,
+            blocks[0].num_src()
+        );
+        assert!(
+            stats.bottom_hot_src > 0,
+            "20% hottest should appear in samples"
+        );
         assert!(stats.bottom_cold_edges <= blocks[0].num_edges());
     }
 
@@ -180,7 +191,11 @@ mod tests {
     fn accumulate_and_scale_down_average() {
         let mut acc = SampleStats::default();
         let a = SampleStats {
-            layers: vec![LayerStats { num_dst: 2, num_src: 4, num_edges: 6 }],
+            layers: vec![LayerStats {
+                num_dst: 2,
+                num_src: 4,
+                num_edges: 6,
+            }],
             bottom_hot_src: 1,
             bottom_cold_src: 3,
             bottom_cold_edges: 4,

@@ -17,12 +17,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Wraps an existing buffer. `data.len()` must equal `rows * cols`.

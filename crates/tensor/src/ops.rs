@@ -10,7 +10,13 @@ use crate::parallel::for_each_row_chunk;
 
 /// `C = A · B` where `A: m×k`, `B: k×n`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims {} vs {}",
+        a.cols(),
+        b.rows()
+    );
     let (m, k) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -39,7 +45,13 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Used for weight gradients: `∇W = Hᵀ · δ`.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_at_b: A rows {} vs B rows {}", a.rows(), b.rows());
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b: A rows {} vs B rows {}",
+        a.rows(),
+        b.rows()
+    );
     let (k, m) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -65,7 +77,13 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Used for input gradients: `∇H = δ · Wᵀ`.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "matmul_a_bt: A cols {} vs B cols {}", a.cols(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt: A cols {} vs B cols {}",
+        a.cols(),
+        b.cols()
+    );
     let (m, k) = a.shape();
     let n = b.rows();
     let mut c = Matrix::zeros(m, n);

@@ -2,7 +2,7 @@
 //!
 //! The workspace deliberately avoids a thread-pool dependency; matmuls over
 //! vertex batches are embarrassingly parallel over rows, so chunking the
-//! output buffer across `crossbeam` scoped threads is sufficient. Small
+//! output buffer across `std::thread` scoped threads is sufficient. Small
 //! matrices stay single-threaded to avoid spawn overhead.
 
 /// Row count below which kernels run single-threaded.
@@ -10,7 +10,10 @@ pub const PAR_ROW_THRESHOLD: usize = 256;
 
 /// Maximum number of worker threads used by a single kernel.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Splits `out` (a `rows x cols` row-major buffer) into contiguous row
@@ -30,13 +33,12 @@ where
         return;
     }
     let chunk_rows = rows.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (idx, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
             let f = &f;
-            scope.spawn(move |_| f(idx * chunk_rows, chunk));
+            scope.spawn(move || f(idx * chunk_rows, chunk));
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -71,7 +73,11 @@ mod tests {
             }
         });
         for r in 0..rows {
-            assert_eq!(buf[r * cols], r as f32 + 1.0, "row {r} written wrong number of times");
+            assert_eq!(
+                buf[r * cols],
+                r as f32 + 1.0,
+                "row {r} written wrong number of times"
+            );
         }
     }
 

@@ -5,7 +5,9 @@ use crate::matrix::Matrix;
 /// Mean of each row as a length-`rows` vector.
 pub fn row_means(m: &Matrix) -> Vec<f32> {
     let c = m.cols().max(1) as f32;
-    (0..m.rows()).map(|r| m.row(r).iter().sum::<f32>() / c).collect()
+    (0..m.rows())
+        .map(|r| m.row(r).iter().sum::<f32>() / c)
+        .collect()
 }
 
 /// Sum of each column as a 1×cols matrix.

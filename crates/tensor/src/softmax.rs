@@ -34,10 +34,17 @@ pub fn softmax_cross_entropy(z: &Matrix, labels: &[usize]) -> SoftmaxCrossEntrop
     let probs = row_softmax(z);
     let mut loss = 0.0;
     for (r, &y) in labels.iter().enumerate() {
-        assert!(y < z.cols(), "label {y} out of range for {} classes", z.cols());
+        assert!(
+            y < z.cols(),
+            "label {y} out of range for {} classes",
+            z.cols()
+        );
         loss -= probs.get(r, y).max(1e-12).ln();
     }
-    SoftmaxCrossEntropy { loss: loss / labels.len().max(1) as f32, probs }
+    SoftmaxCrossEntropy {
+        loss: loss / labels.len().max(1) as f32,
+        probs,
+    }
 }
 
 /// Gradient of mean softmax-cross-entropy w.r.t. the logits:

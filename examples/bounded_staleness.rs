@@ -15,7 +15,10 @@ use neutronorch::nn::LayerKind;
 fn main() {
     let spec = DatasetSpec::products_convergence();
     let epochs = 15;
-    println!("dataset: {} (|V|={}, {} classes), {} epochs\n", spec.name, spec.vertices, spec.num_classes, epochs);
+    println!(
+        "dataset: {} (|V|={}, {} classes), {} epochs\n",
+        spec.name, spec.vertices, spec.num_classes, epochs
+    );
     let curves: Vec<_> = fig16_policies(4)
         .into_iter()
         .map(|policy| run_convergence(&spec, LayerKind::Gcn, policy, epochs))

@@ -38,8 +38,15 @@ fn main() {
         feature_row_bytes: spec.feature_row_bytes(),
         embedding_row_bytes: spec.hidden_row_bytes(),
     };
-    println!("\nhybrid split of {}'s hot set ({} vertices) vs GPU idleness:\n", spec.name, profile.hot.len());
-    println!("{:<10} {:>12} {:>12} {:>14}", "GPU idle", "CPU compute", "GPU cache", "GPU bytes (MB)");
+    println!(
+        "\nhybrid split of {}'s hot set ({} vertices) vs GPU idleness:\n",
+        spec.name,
+        profile.hot.len()
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "GPU idle", "CPU compute", "GPU cache", "GPU bytes (MB)"
+    );
     for idle in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let plan = policy.plan(&profile.hot, idle, u64::MAX);
         println!(

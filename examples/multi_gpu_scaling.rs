@@ -25,7 +25,10 @@ fn main() {
     );
     let profile = WorkloadProfile::build(&spec, &cfg);
 
-    println!("{:<6} {:>16} {:>16}", "GPUs", "DSP (ms)", "NeutronOrch (ms)");
+    println!(
+        "{:<6} {:>16} {:>16}",
+        "GPUs", "DSP (ms)", "NeutronOrch (ms)"
+    );
     for gpus in [1usize, 2, 4, 8] {
         let hw = HardwareSpec::dgx1_like(gpus, 1.0);
         let dsp = match DspLike::default().simulate_epoch(&profile, &hw) {

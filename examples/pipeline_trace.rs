@@ -93,7 +93,16 @@ fn show(title: &str, sched: ScheduleBuilder) {
 
 fn main() {
     show("Fig 5(a): fully pipelined (S on CPU)", ideal_pipeline());
-    show("Fig 5(b): GPU sampling contends with training", contended_pipeline());
-    show("Fig 9(a): naive scheduling — GPU stalls on CPU embedding refresh", naive_superbatch());
-    show("Fig 9(b): super-batch pipelining — CPU works one super-batch ahead", pipelined_superbatch());
+    show(
+        "Fig 5(b): GPU sampling contends with training",
+        contended_pipeline(),
+    );
+    show(
+        "Fig 9(a): naive scheduling — GPU stalls on CPU embedding refresh",
+        naive_superbatch(),
+    );
+    show(
+        "Fig 9(b): super-batch pipelining — CPU works one super-batch ahead",
+        pipelined_superbatch(),
+    );
 }

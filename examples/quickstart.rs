@@ -20,7 +20,10 @@ fn main() {
 
     // NeutronOrch policy: hottest 20% of vertices are computed on the "CPU"
     // once per 4-batch super-batch and reused with staleness < 2n.
-    let policy = ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch: 4 };
+    let policy = ReusePolicy::HotnessAware {
+        hot_ratio: 0.2,
+        super_batch: 4,
+    };
     let dataset = spec.build_full();
     let config = TrainerConfig::convergence_default(LayerKind::Gcn, policy);
     let mut trainer = ConvergenceTrainer::new(dataset, config);

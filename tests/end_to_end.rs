@@ -36,9 +36,23 @@ fn every_orchestrator_simulates_a_full_epoch() {
         let r = sys.simulate_epoch(&profile, &hw).unwrap_or_else(|e| {
             panic!("{} OOMed on a tiny replica: {e}", sys.name());
         });
-        assert!(r.epoch_seconds.is_finite() && r.epoch_seconds > 0.0, "{}", r.system);
-        assert!((0.0..=1.0).contains(&r.cpu_util), "{}: cpu {}", r.system, r.cpu_util);
-        assert!((0.0..=1.0).contains(&r.gpu_util), "{}: gpu {}", r.system, r.gpu_util);
+        assert!(
+            r.epoch_seconds.is_finite() && r.epoch_seconds > 0.0,
+            "{}",
+            r.system
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.cpu_util),
+            "{}: cpu {}",
+            r.system,
+            r.cpu_util
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.gpu_util),
+            "{}: gpu {}",
+            r.system,
+            r.gpu_util
+        );
         assert!(r.gpu_mem_peak > 0);
         assert_eq!(r.num_batches, profile.num_batches);
         // Busy-time breakdown must not exceed what the devices could do.
@@ -52,7 +66,9 @@ fn neutronorch_simulation_beats_dgl_for_all_three_models() {
     for kind in LayerKind::ALL {
         let profile = small_profile(kind);
         let ours = NeutronOrch::new().simulate_epoch(&profile, &hw).unwrap();
-        let dgl = Case1Dgl { pipelined: true }.simulate_epoch(&profile, &hw).unwrap();
+        let dgl = Case1Dgl { pipelined: true }
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         assert!(
             ours.epoch_seconds < dgl.epoch_seconds,
             "{kind:?}: {} !< {}",
@@ -68,7 +84,10 @@ fn numeric_training_converges_and_respects_the_bound_for_all_models() {
         let ds = DatasetSpec::tiny().build_full();
         let mut cfg = TrainerConfig::convergence_default(
             kind,
-            ReusePolicy::HotnessAware { hot_ratio: 0.25, super_batch: 3 },
+            ReusePolicy::HotnessAware {
+                hot_ratio: 0.25,
+                super_batch: 3,
+            },
         );
         cfg.batch_size = 64;
         let mut trainer = ConvergenceTrainer::new(ds, cfg);
@@ -80,7 +99,11 @@ fn numeric_training_converges_and_respects_the_bound_for_all_models() {
         }
         let last = last.unwrap();
         assert!(last.train_loss.is_finite());
-        assert!(last.test_accuracy > 0.4, "{kind:?}: accuracy {}", last.test_accuracy);
+        assert!(
+            last.test_accuracy > 0.4,
+            "{kind:?}: accuracy {}",
+            last.test_accuracy
+        );
     }
 }
 
@@ -89,7 +112,10 @@ fn gat_training_is_stable_with_reuse() {
     let ds = DatasetSpec::tiny().build_full();
     let mut cfg = TrainerConfig::convergence_default(
         LayerKind::Gat,
-        ReusePolicy::HotnessAware { hot_ratio: 0.2, super_batch: 2 },
+        ReusePolicy::HotnessAware {
+            hot_ratio: 0.2,
+            super_batch: 2,
+        },
     );
     cfg.batch_size = 64;
     cfg.lr = 0.1;
@@ -123,7 +149,9 @@ fn hybrid_and_pipeline_flags_change_behaviour_not_correctness() {
     let profile = small_profile(LayerKind::Gcn);
     let hw = HardwareSpec::v100_server(1.0);
     for (_, cfg) in NeutronOrchConfig::ablation_ladder() {
-        let r = NeutronOrch::with_config(cfg).simulate_epoch(&profile, &hw).unwrap();
+        let r = NeutronOrch::with_config(cfg)
+            .simulate_epoch(&profile, &hw)
+            .unwrap();
         assert!(r.epoch_seconds > 0.0);
     }
 }

@@ -22,13 +22,21 @@ fn tasks() -> impl Strategy<Value = Vec<RawTask>> {
 fn build(raw: &[RawTask]) -> (Engine, Vec<f64>) {
     let mut e = Engine::new();
     let caps = [4.0, 1.0, 6.0];
-    let r: Vec<_> = caps.iter().enumerate().map(|(i, &c)| e.add_resource(format!("r{i}"), c)).collect();
+    let r: Vec<_> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| e.add_resource(format!("r{i}"), c))
+        .collect();
     let mut ids = Vec::new();
     for (i, &(res, work, demand, dep)) in raw.iter().enumerate() {
         let deps: Vec<_> = match dep {
             Some(off) => {
                 let j = i.saturating_sub(off as usize);
-                if j < i { vec![ids[j]] } else { vec![] }
+                if j < i {
+                    vec![ids[j]]
+                } else {
+                    vec![]
+                }
             }
             None => vec![],
         };

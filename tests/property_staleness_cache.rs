@@ -1,8 +1,8 @@
 //! Property tests of the bounded-staleness machinery and cache policies —
 //! the correctness core of NeutronOrch's §4.2.2 guarantee.
 
-use neutronorch::cache::{EmbeddingStore, FeatureCache, HybridPolicy};
 use neutronorch::cache::policy::{CachePolicy, PreSamplePolicy};
+use neutronorch::cache::{EmbeddingStore, FeatureCache, HybridPolicy};
 use neutronorch::sample::HotnessRanking;
 use proptest::prelude::*;
 

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property suites use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range / tuple /
+//! [`Just`] / [`any`] strategies, `prop_flat_map` / `prop_map` combinators,
+//! [`collection::vec`] and [`option::of`], plus `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test-site seed (derived from `file!()` + `line!()` + case index), and
+//! there is **no shrinking** — generation is fully deterministic, so simply
+//! rerunning a failing test replays the exact failing inputs.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property assertion; in this stand-in it panics immediately (no shrink
+/// phase to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that runs `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( cfg = $cfg:expr; ) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng =
+                    $crate::test_runner::case_rng(file!(), line!(), __case);
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                { $body }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}

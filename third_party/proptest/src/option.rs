@@ -1,0 +1,42 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Strategy producing `Option<T>` — see [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `of(strategy)` — mirrors `proptest::option::of`: yields `Some` about
+/// three quarters of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.random_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn yields_both_variants() {
+        let strat = of(0u32..10);
+        let mut rng = case_rng(file!(), line!(), 0);
+        let vals: Vec<_> = (0..300).map(|_| strat.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_some()));
+        assert!(vals.iter().any(|v| v.is_none()));
+    }
+}
