@@ -92,6 +92,19 @@ impl EmbeddingStore {
         }
     }
 
+    /// Publishes a whole refresh batch computed at `version` — the
+    /// super-batch flip of the double-buffered refresh: the worker computes
+    /// rows against an immutable parameter snapshot off to the side, then
+    /// the train stage installs them all at once at the next boundary.
+    pub fn put_rows<I>(&mut self, rows: I, version: u64)
+    where
+        I: IntoIterator<Item = (VertexId, Vec<f32>)>,
+    {
+        for (v, row) in rows {
+            self.put(v, row, version);
+        }
+    }
+
     /// Drops every entry older than `cutoff` — NeutronOrch's super-batch
     /// retirement ("historical embeddings from the previous super-batch are
     /// only accessible within the current super-batch").
@@ -169,6 +182,16 @@ mod tests {
         s.put(1, vec![0.1], 0);
         let (_, gap) = s.get(1, 1_000_000).unwrap().unwrap();
         assert_eq!(gap, 1_000_000);
+    }
+
+    #[test]
+    fn put_rows_publishes_a_batch_at_one_version() {
+        let mut s = EmbeddingStore::new(2, Some(3));
+        s.put_rows(vec![(1, vec![1.0, 1.0]), (2, vec![2.0, 2.0])], 5);
+        assert_eq!(s.len(), 2);
+        let (row, gap) = s.get(2, 6).unwrap().unwrap();
+        assert_eq!(row, &[2.0, 2.0]);
+        assert_eq!(gap, 1);
     }
 
     #[test]

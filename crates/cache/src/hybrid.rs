@@ -77,6 +77,23 @@ impl HybridPolicy {
             gpu_bytes,
         }
     }
+
+    /// [`Self::plan`] driven by a *measured* train-stage occupancy rather
+    /// than a pre-computed idle fraction — the §4.1.3 feedback loop closed
+    /// at runtime. `train_occupancy` is the fraction of wall-clock the
+    /// training device spent computing (e.g.
+    /// `PipelineReport::train_occupancy`); its complement is the idle share
+    /// available for hot-feature caching. Values outside `[0, 1]` (possible
+    /// from coarse timers) are clamped instead of panicking.
+    pub fn plan_from_occupancy(
+        &self,
+        hot: &HotSet,
+        train_occupancy: f64,
+        gpu_free_bytes: u64,
+    ) -> HybridPlan {
+        let idle = (1.0 - train_occupancy).clamp(0.0, 1.0);
+        self.plan(hot, idle, gpu_free_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +154,23 @@ mod tests {
         let plan = policy().plan(&hot, 0.5, u64::MAX);
         let expect = plan.gpu_cache.len() as u64 * 400 + plan.cpu_compute.len() as u64 * 100;
         assert_eq!(plan.gpu_bytes, expect);
+    }
+
+    #[test]
+    fn occupancy_plan_complements_idleness_and_clamps() {
+        let hot = hot_set(100, 0.2);
+        let p = policy();
+        // Fully busy trainer → no idle → everything stays CPU-computed.
+        let busy = p.plan_from_occupancy(&hot, 1.0, u64::MAX);
+        assert!(busy.gpu_cache.is_empty());
+        // Starved trainer → fully idle → the whole hot set moves to GPU.
+        let starved = p.plan_from_occupancy(&hot, 0.0, u64::MAX);
+        assert!(starved.cpu_compute.is_empty());
+        // Timer noise outside [0,1] is clamped, not a panic.
+        let noisy = p.plan_from_occupancy(&hot, 1.3, u64::MAX);
+        assert!(noisy.gpu_cache.is_empty());
+        let negative = p.plan_from_occupancy(&hot, -0.2, u64::MAX);
+        assert!(negative.cpu_compute.is_empty());
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! The persistent multi-epoch training engine.
+//!
+//! PR 1's [`crate::pipeline::PipelineExecutor`] proved the stage-overlap
+//! claim but paid thread spawn/teardown on every `run_epoch` call and ran
+//! the super-batch hot-embedding refresh inline on the train thread. This
+//! module keeps the same stage graph alive for a whole *session*:
+//!
+//! ```text
+//!              ┌───────────── generation-stamped epoch gate ─────────────┐
+//!              ▼                                                         │
+//! [sample xN] --ch--> [gather xM] --ch--> [transfer] --ch--> [train]  (epoch
+//!   persistent          persistent          persistent        caller   loop)
+//!
+//! [refresh worker] <--task-- train thread at super-batch boundaries
+//!                  --rows--> published at the *next* boundary (double buffer)
+//! ```
+//!
+//! - **Persistent pool** — sampler/gather/transfer/refresh workers are
+//!   spawned exactly once per [`TrainingEngine::run_session`]. Between
+//!   epochs the samplers park on the [`EpochGate`], a generation-stamped
+//!   barrier: the train thread publishes the next epoch's batch list under
+//!   a new generation and the workers wake, claim batch indices from the
+//!   job's shared counter, and go back to waiting when the counter runs
+//!   dry. Gather/transfer workers park implicitly on their empty input
+//!   channels. Multi-epoch runs pay thread startup once, not per epoch.
+//! - **Pipelined refresh (Fig 8)** — at each super-batch boundary the
+//!   trainer snapshots its bottom-layer parameters into a
+//!   [`RefreshTask`] and hands the CPU share to the dedicated refresh
+//!   worker; the rows are collected and published one boundary later
+//!   (see [`crate::trainer::ConvergenceTrainer::train_batches_with`]), so
+//!   the refresh overlaps training and historical reads keep the `< 2n`
+//!   version-gap bound.
+//! - **Occupancy-driven hybrid split (§4.1.3/§4.3)** — after every epoch
+//!   the engine feeds the measured
+//!   [`PipelineReport::train_occupancy`] into
+//!   [`HybridPolicy::plan_from_occupancy`] and installs the planned CPU
+//!   fraction for the next epoch's refreshes: a starved train stage pulls
+//!   hot vertices onto the training device's cache, a saturated one pushes
+//!   them back to the CPU. The split moves *work between devices*, never
+//!   numbers: refresh tasks are partition-stable pure functions of their
+//!   parameter snapshot, so the loss trajectory is bit-identical to the
+//!   sequential trainer at every thread count and every split.
+
+use crate::pipeline::{PipelineConfig, PipelineReport};
+use crate::refresh::{CpuPart, RefreshBackend, RefreshOutput, RefreshTask};
+use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation, PreparedBatch};
+use neutron_cache::HybridPolicy;
+use neutron_graph::VertexId;
+use neutron_sample::SamplerScratch;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Concurrency primitives shared with the pipeline module.
+// ---------------------------------------------------------------------------
+
+/// A bounded MPMC channel built on `Mutex` + `Condvar` — the workspace
+/// avoids external concurrency crates, and `std::sync::mpsc` receivers
+/// cannot be shared by a pool of gather workers.
+pub(crate) struct Bounded<T> {
+    state: Mutex<ChannelState<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        Self {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocks while full. Returns `false` (dropping `item`) if the channel
+    /// was closed.
+    pub(crate) fn send(&self, item: T) -> bool {
+        self.send_or_return(item).is_none()
+    }
+
+    /// Blocks while full. On a closed channel the item is handed back so
+    /// the caller can fall back to computing locally.
+    pub(crate) fn send_or_return(&self, item: T) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        while st.queue.len() >= self.capacity && !st.closed {
+            st = self.not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return Some(item);
+        }
+        st.queue.push_back(item);
+        self.not_empty.notify_one();
+        None
+    }
+
+    /// Blocks while empty. Returns `None` once the channel is closed *and*
+    /// drained.
+    pub(crate) fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Marks the channel closed; receivers drain the queue then see `None`.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Accumulates busy nanoseconds across worker threads.
+#[derive(Default)]
+pub(crate) struct BusyNs(AtomicU64);
+
+impl BusyNs {
+    pub(crate) fn add(&self, since: Instant) {
+        self.0
+            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn seconds(&self) -> f64 {
+        self.0.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+/// Runs a closure on drop — used so that channel close / gate shutdown
+/// happens even when a stage panics, turning a bug-induced panic into a
+/// propagated failure instead of a deadlock (workers blocked forever on a
+/// channel nobody will close).
+pub(crate) struct Defer<F: FnMut()>(pub(crate) F);
+
+impl<F: FnMut()> Drop for Defer<F> {
+    fn drop(&mut self) {
+        (self.0)();
+    }
+}
+
+/// The transfer stage for one batch: account host→device bytes and, when a
+/// simulated link is configured, stall for the PCIe time. Shared by the
+/// engine's transfer worker and the sequential baseline so their per-batch
+/// costing can never drift apart.
+pub(crate) fn transfer_stage(cfg: &PipelineConfig, batch: &PreparedBatch, h2d_bytes: &AtomicU64) {
+    let bytes = batch.h2d_bytes();
+    h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    if cfg.h2d_gibps > 0.0 {
+        let secs = bytes as f64 / (cfg.h2d_gibps * (1u64 << 30) as f64);
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generation-stamped epoch gate.
+// ---------------------------------------------------------------------------
+
+/// One epoch's worth of work, published to the persistent sampler pool.
+#[derive(Clone)]
+struct EpochJob {
+    /// Gate generation this job was published under (stricly increasing).
+    generation: u64,
+    /// Epoch number (seeds batch sampling).
+    epoch: usize,
+    /// The epoch's shuffled batches, in train order.
+    batches: Arc<Vec<Vec<VertexId>>>,
+    /// Shared claim counter: samplers `fetch_add` to pick the next batch.
+    next: Arc<AtomicUsize>,
+}
+
+/// The barrier persistent workers park on between epochs. The train thread
+/// opens a new generation with the next epoch's job; workers wake, drain
+/// the job, and wait for a generation newer than the last one they served.
+struct EpochGate {
+    state: Mutex<GateState>,
+    opened: Condvar,
+}
+
+struct GateState {
+    generation: u64,
+    job: Option<EpochJob>,
+    shutdown: bool,
+}
+
+impl EpochGate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            opened: Condvar::new(),
+        }
+    }
+
+    /// Publishes `job` under a new generation, waking every parked worker.
+    fn open(&self, job: EpochJob) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(job.generation > st.generation, "generations must advance");
+        st.generation = job.generation;
+        st.job = Some(job);
+        self.opened.notify_all();
+    }
+
+    /// Parks until a generation newer than `seen` is open (returning its
+    /// job) or the gate shuts down (returning `None`).
+    fn wait_past(&self, seen: u64) -> Option<EpochJob> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if st.generation > seen {
+                return st.job.clone();
+            }
+            st = self.opened.wait(st).unwrap();
+        }
+    }
+
+    /// Ends the session: every parked worker wakes and exits.
+    fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.opened.notify_all();
+    }
+}
+
+/// Train-stage input adaptor for one epoch: receives possibly out-of-order
+/// prepared batches and yields exactly `remaining` of them in epoch order,
+/// tracking starvation time and the reorder window. Bounded by count (not
+/// channel close) because the channels outlive the epoch.
+struct EpochReorder<'a> {
+    source: &'a Bounded<PreparedBatch>,
+    pending: BTreeMap<usize, PreparedBatch>,
+    next_index: usize,
+    remaining: usize,
+    wait: Duration,
+    peak: usize,
+}
+
+impl<'a> EpochReorder<'a> {
+    fn new(source: &'a Bounded<PreparedBatch>, total: usize) -> Self {
+        Self {
+            source,
+            pending: BTreeMap::new(),
+            next_index: 0,
+            remaining: total,
+            wait: Duration::ZERO,
+            peak: 0,
+        }
+    }
+}
+
+impl Iterator for EpochReorder<'_> {
+    type Item = PreparedBatch;
+
+    fn next(&mut self) -> Option<PreparedBatch> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            if let Some(item) = self.pending.remove(&self.next_index) {
+                self.next_index += 1;
+                self.remaining -= 1;
+                return Some(item);
+            }
+            let t0 = Instant::now();
+            let received = self.source.recv();
+            self.wait += t0.elapsed();
+            match received {
+                Some(item) => {
+                    self.pending.insert(item.index, item);
+                    self.peak = self.peak.max(self.pending.len());
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+/// Refresh backend bridging the trainer's super-batch boundaries to the
+/// session's dedicated refresh worker.
+struct WorkerRefresh<'a> {
+    tasks: &'a Bounded<RefreshTask>,
+    outputs: &'a Bounded<RefreshOutput>,
+    /// Cumulative time the train thread spent blocked in [`Self::collect`]
+    /// waiting for the refresh worker. This is train-stage *starvation*
+    /// (the training device idling on CPU work), and must be attributed to
+    /// wait — not compute — or the measured occupancy would read ~1.0
+    /// exactly when the refresh worker is the bottleneck, inverting the
+    /// §4.1.3 feedback (the planner would keep hot vertices on the
+    /// overloaded CPU instead of offloading them to the idle trainer).
+    wait: Duration,
+}
+
+impl RefreshBackend for WorkerRefresh<'_> {
+    fn submit(&mut self, task: RefreshTask) -> CpuPart {
+        match self.tasks.send_or_return(task) {
+            None => CpuPart::Submitted,
+            // Channel closed (teardown/panic path): compute locally so the
+            // trainer's refresh schedule stays intact.
+            Some(task) => CpuPart::Ready(task.run()),
+        }
+    }
+
+    fn collect(&mut self) -> RefreshOutput {
+        let t0 = Instant::now();
+        let out = self
+            .outputs
+            .recv()
+            .expect("refresh worker lives for the whole session");
+        self.wait += t0.elapsed();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// Engine configuration: the stage-graph shape plus the adaptive-split loop.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Stage thread counts, channel depth and simulated link (shared with
+    /// the single-epoch executor).
+    pub pipeline: PipelineConfig,
+    /// Re-plan the hybrid hot-set split from measured train occupancy
+    /// between epochs (§4.1.3 closed at runtime). When `false` the split
+    /// stays wherever
+    /// [`ConvergenceTrainer::set_refresh_cpu_fraction`] put it.
+    pub adaptive_split: bool,
+    /// Device memory the hybrid planner may spend on cached hot features.
+    pub gpu_free_bytes: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            pipeline: PipelineConfig::default(),
+            adaptive_split: true,
+            gpu_free_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One epoch of a session: observation, stage report and the refresh split
+/// that was in effect.
+#[derive(Clone, Debug)]
+pub struct EpochRun {
+    /// Epoch number.
+    pub epoch: usize,
+    /// Loss/accuracy/staleness of the epoch.
+    pub observation: EpochObservation,
+    /// Measured per-stage breakdown.
+    pub report: PipelineReport,
+    /// CPU share of the hot-set refresh during this epoch (1.0 = all
+    /// refreshes on the CPU worker).
+    pub refresh_cpu_fraction: f64,
+    /// Busy seconds the background refresh worker spent *during this
+    /// epoch's wall-clock window*. A refresh submitted at an epoch's last
+    /// super-batch boundary mostly executes early in the next epoch, so its
+    /// time is credited where it physically ran — per-epoch values describe
+    /// worker load over time, not per-epoch task provenance.
+    pub refresh_seconds: f64,
+    /// Seconds spent in test-set evaluation after the epoch — inference,
+    /// kept out of `report.epoch_seconds` so throughput numbers measure
+    /// training only.
+    pub eval_seconds: f64,
+}
+
+/// What a whole session produced.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Per-epoch results, in order.
+    pub epochs: Vec<EpochRun>,
+    /// Worker threads spawned — once per session, independent of epoch
+    /// count (samplers + gatherers + transfer + refresh).
+    pub workers_spawned: usize,
+    /// Gate generations opened (== epochs run).
+    pub generations: u64,
+    /// Wall-clock from session start to all workers spawned — the one-time
+    /// cost the persistent pool amortises over every epoch (the respawn
+    /// path pays it per epoch).
+    pub startup_seconds: f64,
+}
+
+impl SessionReport {
+    /// The adaptive split's trajectory: CPU refresh share per epoch.
+    pub fn cpu_fraction_trajectory(&self) -> Vec<f64> {
+        self.epochs.iter().map(|e| e.refresh_cpu_fraction).collect()
+    }
+
+    /// Summed wall-clock of all epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.report.epoch_seconds).sum()
+    }
+}
+
+/// The persistent multi-epoch training engine (see module docs).
+pub struct TrainingEngine {
+    config: EngineConfig,
+}
+
+impl TrainingEngine {
+    /// Builds an engine; thread counts must be positive.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(
+            config.pipeline.sampler_threads > 0,
+            "need at least one sampler thread"
+        );
+        assert!(
+            config.pipeline.gather_threads > 0,
+            "need at least one gather thread"
+        );
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `num_epochs` epochs starting at `first_epoch` over one
+    /// persistent worker pool. Numerically identical to calling
+    /// `trainer.train_epoch(e)` (or the sequential executor) for the same
+    /// epochs, at any thread count and any hybrid split — concurrency and
+    /// the adaptive planner change wall-clock and placement, never results.
+    pub fn run_session(
+        &self,
+        trainer: &mut ConvergenceTrainer,
+        first_epoch: usize,
+        num_epochs: usize,
+    ) -> SessionReport {
+        let pcfg = &self.config.pipeline;
+        let dataset = trainer.dataset_handle();
+        let sampler = trainer.sampler().clone();
+        let config_seed = trainer.config().seed;
+        let policy = HybridPolicy {
+            feature_row_bytes: dataset.spec.feature_row_bytes(),
+            embedding_row_bytes: dataset.spec.hidden_row_bytes(),
+        };
+
+        let gate = EpochGate::new();
+        let sampled: Bounded<(usize, Vec<neutron_sample::Block>)> =
+            Bounded::new(pcfg.channel_depth);
+        let prepared: Bounded<PreparedBatch> = Bounded::new(pcfg.channel_depth);
+        let ready: Bounded<PreparedBatch> = Bounded::new(pcfg.channel_depth);
+        let tasks: Bounded<RefreshTask> = Bounded::new(1);
+        let outputs: Bounded<RefreshOutput> = Bounded::new(1);
+        let live_samplers = AtomicUsize::new(pcfg.sampler_threads);
+        let live_gatherers = AtomicUsize::new(pcfg.gather_threads);
+        let sample_busy = BusyNs::default();
+        let gather_busy = BusyNs::default();
+        let transfer_busy = BusyNs::default();
+        let refresh_busy = BusyNs::default();
+        let h2d_bytes = AtomicU64::new(0);
+        // samplers + gatherers + transfer + refresh, spawned exactly once.
+        let workers_spawned = pcfg.sampler_threads + pcfg.gather_threads + 2;
+
+        let mut runs: Vec<EpochRun> = Vec::with_capacity(num_epochs);
+        let mut startup_seconds = 0.0;
+        let session_start = Instant::now();
+        std::thread::scope(|scope| {
+            // If the train stage (this thread) panics, unblock every worker
+            // so `thread::scope` can join them and propagate the panic
+            // instead of deadlocking.
+            let _teardown = Defer(|| {
+                gate.shutdown();
+                sampled.close();
+                prepared.close();
+                ready.close();
+                tasks.close();
+                outputs.close();
+            });
+            for _ in 0..pcfg.sampler_threads {
+                scope.spawn(|| {
+                    // When the last sampler exits (shutdown), close the
+                    // sampled channel so gather workers drain and exit too.
+                    let _liveness = Defer(|| {
+                        if live_samplers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            sampled.close();
+                        }
+                    });
+                    let mut scratch = SamplerScratch::new();
+                    let mut seen = 0u64;
+                    while let Some(job) = gate.wait_past(seen) {
+                        seen = job.generation;
+                        let total = job.batches.len();
+                        loop {
+                            let i = job.next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let blocks = sampler.sample_batch_with_scratch(
+                                &dataset.csr,
+                                &job.batches[i],
+                                batch_sample_seed(config_seed, job.epoch, i),
+                                &mut scratch,
+                            );
+                            sample_busy.add(t0);
+                            if !sampled.send((i, blocks)) {
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..pcfg.gather_threads {
+                scope.spawn(|| {
+                    let _liveness = Defer(|| {
+                        if live_gatherers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            prepared.close();
+                        }
+                    });
+                    while let Some((index, blocks)) = sampled.recv() {
+                        let t0 = Instant::now();
+                        let features =
+                            ConvergenceTrainer::gather_features(&dataset, blocks[0].src());
+                        gather_busy.add(t0);
+                        if !prepared.send(PreparedBatch {
+                            index,
+                            blocks,
+                            features,
+                        }) {
+                            break;
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let _liveness = Defer(|| ready.close());
+                while let Some(batch) = prepared.recv() {
+                    let t0 = Instant::now();
+                    transfer_stage(pcfg, &batch, &h2d_bytes);
+                    transfer_busy.add(t0);
+                    if !ready.send(batch) {
+                        break;
+                    }
+                }
+            });
+            scope.spawn(|| {
+                let _liveness = Defer(|| outputs.close());
+                let mut scratch = SamplerScratch::new();
+                while let Some(task) = tasks.recv() {
+                    let t0 = Instant::now();
+                    let out = task.run_with_scratch(&mut scratch);
+                    refresh_busy.add(t0);
+                    if !outputs.send(out) {
+                        break;
+                    }
+                }
+            });
+
+            startup_seconds = session_start.elapsed().as_secs_f64();
+            let mut backend = WorkerRefresh {
+                tasks: &tasks,
+                outputs: &outputs,
+                wait: Duration::ZERO,
+            };
+            for e in 0..num_epochs {
+                let epoch = first_epoch + e;
+                let batches = Arc::new(trainer.epoch_batches(epoch));
+                let total = batches.len();
+                let before = (
+                    sample_busy.seconds(),
+                    gather_busy.seconds(),
+                    transfer_busy.seconds(),
+                    refresh_busy.seconds(),
+                    h2d_bytes.load(Ordering::Relaxed),
+                );
+                let refresh_cpu_fraction = trainer.refresh_cpu_fraction();
+                let collect_wait_before = backend.wait;
+
+                let wall = Instant::now();
+                gate.open(EpochJob {
+                    generation: e as u64 + 1,
+                    epoch,
+                    batches,
+                    next: Arc::new(AtomicUsize::new(0)),
+                });
+                // Train stage on the calling thread: in-order, owns the
+                // model; super-batch refreshes flow through the worker.
+                let mut reorder = EpochReorder::new(&ready, total);
+                let stats = trainer.train_batches_with(&mut reorder, &mut backend);
+                let epoch_seconds = wall.elapsed().as_secs_f64();
+                // Leftover-batch guard: train_batches_with consumes every
+                // batch today, but the channels persist across epochs and
+                // indices restart at 0 each epoch — if it ever gains an
+                // early-exit path, undelivered batches must not leak into
+                // the next epoch's reorderer (they would alias its indices
+                // and be trained on silently). Drain them here.
+                while reorder.next().is_some() {}
+
+                let t_eval = Instant::now();
+                let observation = trainer.observe_epoch(stats);
+                let eval_seconds = t_eval.elapsed().as_secs_f64();
+                // Starvation = blocked on upstream batches + blocked on the
+                // refresh worker at super-batch boundaries (see
+                // `WorkerRefresh::wait`).
+                let train_wait =
+                    (reorder.wait + (backend.wait - collect_wait_before)).as_secs_f64();
+                let report = PipelineReport {
+                    epoch_seconds,
+                    num_batches: total,
+                    sample_seconds: sample_busy.seconds() - before.0,
+                    gather_collect_seconds: gather_busy.seconds() - before.1,
+                    transfer_seconds: transfer_busy.seconds() - before.2,
+                    train_seconds: (epoch_seconds - train_wait).max(0.0),
+                    train_wait_seconds: train_wait,
+                    h2d_bytes: h2d_bytes.load(Ordering::Relaxed) - before.4,
+                    reorder_peak: reorder.peak,
+                };
+                // §4.1.3 feedback: plan the next epoch's split from this
+                // epoch's measured occupancy. Placement only — the refresh
+                // rows are split-invariant.
+                if self.config.adaptive_split {
+                    if let Some(hot) = trainer.hot_set() {
+                        let plan = policy.plan_from_occupancy(
+                            hot,
+                            report.train_occupancy(),
+                            self.config.gpu_free_bytes,
+                        );
+                        trainer.set_refresh_cpu_fraction(plan.cpu_fraction());
+                    }
+                }
+                runs.push(EpochRun {
+                    epoch,
+                    observation,
+                    report,
+                    refresh_cpu_fraction,
+                    refresh_seconds: refresh_busy.seconds() - before.3,
+                    eval_seconds,
+                });
+            }
+            // Resolve any refresh still on the worker so the trainer can
+            // outlive this session (the rows publish at a later boundary).
+            trainer.settle_refresh(&mut backend);
+        });
+
+        SessionReport {
+            epochs: runs,
+            workers_spawned,
+            generations: num_epochs as u64,
+            startup_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{ReusePolicy, TrainerConfig};
+    use neutron_graph::DatasetSpec;
+    use neutron_nn::LayerKind;
+    use neutron_tensor::Matrix;
+
+    fn trainer(policy: ReusePolicy) -> ConvergenceTrainer {
+        let ds = DatasetSpec::tiny().build_full();
+        let mut cfg = TrainerConfig::convergence_default(LayerKind::Gcn, policy);
+        cfg.batch_size = 64;
+        cfg.lr = 0.5;
+        ConvergenceTrainer::new(ds, cfg)
+    }
+
+    #[test]
+    fn bounded_channel_blocks_at_capacity_and_drains_after_close() {
+        let ch: Arc<Bounded<u32>> = Arc::new(Bounded::new(2));
+        let producer = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    assert!(ch.send(i));
+                }
+                ch.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = ch.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        // After close, sends hand the item back and recv keeps seeing None.
+        assert!(!ch.send(99));
+        assert_eq!(ch.send_or_return(7), Some(7));
+        assert!(ch.recv().is_none());
+    }
+
+    #[test]
+    fn epoch_reorder_restores_order_and_stops_at_count() {
+        let ch: Bounded<PreparedBatch> = Bounded::new(8);
+        for index in [2usize, 0, 1, 3] {
+            ch.send(PreparedBatch {
+                index,
+                blocks: Vec::new(),
+                features: Matrix::zeros(1, 1),
+            });
+        }
+        // Note: not closed — the channel outlives epochs in a session.
+        let order: Vec<usize> = EpochReorder::new(&ch, 4).map(|b| b.index).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn gate_wakes_workers_per_generation_and_shuts_down() {
+        let gate = Arc::new(EpochGate::new());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let worker = {
+            let gate = Arc::clone(&gate);
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while let Some(job) = gate.wait_past(last) {
+                    last = job.generation;
+                    seen.lock().unwrap().push(job.epoch);
+                }
+            })
+        };
+        for (generation, epoch) in [(1u64, 5usize), (2, 6), (3, 7)] {
+            gate.open(EpochJob {
+                generation,
+                epoch,
+                batches: Arc::new(Vec::new()),
+                next: Arc::new(AtomicUsize::new(0)),
+            });
+            // Wait until the worker consumed this generation before the next.
+            while seen.lock().unwrap().len() < generation as usize {
+                std::thread::yield_now();
+            }
+        }
+        gate.shutdown();
+        worker.join().unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn session_matches_repeated_sequential_epochs_exactly() {
+        let mut seq = trainer(ReusePolicy::Exact);
+        let mut eng = trainer(ReusePolicy::Exact);
+        let engine = TrainingEngine::new(EngineConfig {
+            pipeline: PipelineConfig {
+                sampler_threads: 3,
+                gather_threads: 2,
+                channel_depth: 2,
+                h2d_gibps: 0.0,
+            },
+            ..EngineConfig::default()
+        });
+        let session = engine.run_session(&mut eng, 0, 3);
+        assert_eq!(session.epochs.len(), 3);
+        assert_eq!(session.workers_spawned, 3 + 2 + 1 + 1);
+        for run in &session.epochs {
+            let a = seq.train_epoch(run.epoch);
+            assert_eq!(a.train_loss, run.observation.train_loss);
+            assert_eq!(a.test_accuracy, run.observation.test_accuracy);
+        }
+    }
+
+    #[test]
+    fn session_keeps_staleness_bound_with_background_refresh() {
+        let n = 2;
+        let mut t = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.3,
+            super_batch: n,
+        });
+        let engine = TrainingEngine::new(EngineConfig::default());
+        let session = engine.run_session(&mut t, 0, 4);
+        for run in &session.epochs {
+            assert!(
+                run.observation.max_staleness < 2 * n as u64,
+                "epoch {}: gap {} ≥ 2n",
+                run.epoch,
+                run.observation.max_staleness
+            );
+        }
+        assert!(t.embedding_reuses() > 0);
+        // The refresh worker actually carried refresh work.
+        assert!(
+            session
+                .epochs
+                .iter()
+                .map(|e| e.refresh_seconds)
+                .sum::<f64>()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn adaptive_split_replans_between_epochs() {
+        let mut t = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.3,
+            super_batch: 2,
+        });
+        let engine = TrainingEngine::new(EngineConfig::default());
+        let session = engine.run_session(&mut t, 0, 3);
+        let traj = session.cpu_fraction_trajectory();
+        // Epoch 0 always starts all-CPU; later epochs follow the measured
+        // plan (whatever it is, it must be a valid fraction).
+        assert_eq!(traj[0], 1.0);
+        assert!(traj.iter().all(|f| (0.0..=1.0).contains(f)));
+    }
+}

@@ -24,17 +24,21 @@
 //!   the accuracy results of Fig 16 come from here.
 
 pub mod baselines;
+pub mod engine;
 pub mod neutronorch;
 pub mod orchestrator;
 pub mod pipeline;
 pub mod profile;
+pub mod refresh;
 pub mod report;
 pub mod runner;
 pub mod sim;
 pub mod trainer;
 
+pub use engine::{EngineConfig, EpochRun, SessionReport, TrainingEngine};
 pub use neutronorch::{NeutronOrch, NeutronOrchConfig};
 pub use orchestrator::Orchestrator;
 pub use pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
 pub use profile::{WorkloadConfig, WorkloadProfile};
+pub use refresh::{InlineRefresh, RefreshBackend, RefreshOutput, RefreshTask};
 pub use report::EpochReport;

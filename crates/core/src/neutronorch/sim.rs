@@ -75,7 +75,6 @@ impl Orchestrator for NeutronOrch {
         if !self.config.hybrid {
             return Ok(first);
         }
-        let idle = (1.0 - first.gpu_util).clamp(0.0, 1.0);
         let policy = HybridPolicy {
             feature_row_bytes: profile.spec.feature_row_bytes(),
             embedding_row_bytes: profile.spec.hidden_row_bytes(),
@@ -83,7 +82,9 @@ impl Orchestrator for NeutronOrch {
         // Hot features displace the opportunistic cold-feature cache, so the
         // split is idleness-driven; the ledger of the second pass still
         // validates the result (falling back to the all-CPU plan on OOM).
-        let plan = policy.plan(&profile.hot, idle, u64::MAX);
+        // Same feedback rule the measured TrainingEngine applies between
+        // epochs (`plan_from_occupancy`), here fed by simulated utilization.
+        let plan = policy.plan_from_occupancy(&profile.hot, first.gpu_util, u64::MAX);
         match simulate_hotness(
             profile,
             hw,

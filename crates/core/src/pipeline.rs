@@ -1,27 +1,14 @@
 //! The pipelined executor: NeutronOrch's super-batch pipeline (Fig 8) as
 //! real multi-threaded concurrency rather than a discrete-event simulation.
 //!
-//! The paper's stage graph runs as actual threads connected by bounded
-//! channels:
-//!
-//! ```text
-//! [sample xN] --ch--> [gather xM] --ch--> [transfer] --ch--> [train]
-//!   worker threads      worker threads      1 thread          caller
-//! ```
-//!
-//! - **sample**: `sampler_threads` workers claim batch indices from a shared
-//!   atomic counter and run the neighbor sampler (Algorithm 1);
-//! - **gather**: `gather_threads` workers collect the bottom layer's raw
-//!   feature rows ("Gather (FC)") — under `ReusePolicy::HotnessAware`, hot
-//!   destinations are later served from the [`neutron_cache::EmbeddingStore`]
-//!   instead of recomputed, which is the layer-based CPU/GPU split of §4.1;
-//! - **transfer**: one worker accounts host→device bytes and, when
-//!   [`PipelineConfig::h2d_gibps`] is set, stalls for the simulated PCIe
-//!   time — sleeping on its own thread, so transfer latency is *hidden*
-//!   behind compute exactly like a DMA engine ("Gather (FT)");
-//! - **train**: the calling thread reorders out-of-order arrivals and drives
-//!   [`ConvergenceTrainer::train_epoch_with`], which owns the model, the
-//!   version counter, the super-batch barrier and the hot-embedding refresh.
+//! The stage graph (sample → gather → transfer → train) runs as actual
+//! threads connected by bounded channels; since the persistent-engine
+//! refactor the machinery lives in [`crate::engine`] and
+//! [`PipelineExecutor::run_epoch`] is a thin compatibility wrapper over a
+//! one-epoch [`crate::engine::TrainingEngine`] session. Multi-epoch callers
+//! should use the engine directly: it spawns the worker pool once per
+//! session instead of once per epoch and closes the §4.1.3 occupancy
+//! feedback loop between epochs.
 //!
 //! Determinism: block sampling is seeded by `(config seed, epoch, batch
 //! index)` ([`crate::trainer::batch_sample_seed`]) and the train stage
@@ -29,16 +16,16 @@
 //! to the sequential trainer for any thread count** — concurrency changes
 //! wall-clock, never results.
 //!
-//! Staleness: the super-batch barrier runs on the train thread between
-//! batches, so the §4.2.2 guarantee is untouched by pipelining — every
-//! historical-embedding read still observes a version gap `< 2n` (enforced
-//! hard by the bounded [`neutron_cache::EmbeddingStore`]).
+//! Staleness: the super-batch boundary runs on the train thread between
+//! batches, publishing the refresh prepared during the *previous*
+//! super-batch (double buffering, see [`crate::refresh`]); every
+//! historical-embedding read observes a version gap `< 2n`, enforced hard
+//! by the bounded [`neutron_cache::EmbeddingStore`].
 
+use crate::engine::{transfer_stage, BusyNs, EngineConfig, TrainingEngine};
 use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation, PreparedBatch};
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Pipelined-executor configuration.
 #[derive(Clone, Debug)]
@@ -104,154 +91,15 @@ impl PipelineReport {
     }
 
     /// Fraction of the epoch the train stage was compute-bound (1.0 means
-    /// the pipeline kept the trainer perfectly fed).
+    /// the pipeline kept the trainer perfectly fed). This is the measured
+    /// signal the engine feeds back into the §4.1.3 hybrid planner.
     pub fn train_occupancy(&self) -> f64 {
         self.train_seconds / self.epoch_seconds.max(1e-12)
     }
 }
 
-/// A bounded MPMC channel built on `Mutex` + `Condvar` — the workspace
-/// avoids external concurrency crates, and `std::sync::mpsc` receivers
-/// cannot be shared by a pool of gather workers.
-struct Bounded<T> {
-    state: Mutex<ChannelState<T>>,
-    capacity: usize,
-    not_full: Condvar,
-    not_empty: Condvar,
-}
-
-struct ChannelState<T> {
-    queue: VecDeque<T>,
-    closed: bool,
-}
-
-impl<T> Bounded<T> {
-    fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "channel capacity must be positive");
-        Self {
-            state: Mutex::new(ChannelState {
-                queue: VecDeque::new(),
-                closed: false,
-            }),
-            capacity,
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
-        }
-    }
-
-    /// Blocks while full. Returns `false` (dropping `item`) if the channel
-    /// was closed.
-    fn send(&self, item: T) -> bool {
-        let mut st = self.state.lock().unwrap();
-        while st.queue.len() >= self.capacity && !st.closed {
-            st = self.not_full.wait(st).unwrap();
-        }
-        if st.closed {
-            return false;
-        }
-        st.queue.push_back(item);
-        self.not_empty.notify_one();
-        true
-    }
-
-    /// Blocks while empty. Returns `None` once the channel is closed *and*
-    /// drained.
-    fn recv(&self) -> Option<T> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if let Some(item) = st.queue.pop_front() {
-                self.not_full.notify_one();
-                return Some(item);
-            }
-            if st.closed {
-                return None;
-            }
-            st = self.not_empty.wait(st).unwrap();
-        }
-    }
-
-    /// Marks the channel closed; receivers drain the queue then see `None`.
-    fn close(&self) {
-        self.state.lock().unwrap().closed = true;
-        self.not_full.notify_all();
-        self.not_empty.notify_all();
-    }
-}
-
-/// Accumulates busy nanoseconds across worker threads.
-#[derive(Default)]
-struct BusyNs(AtomicU64);
-
-impl BusyNs {
-    fn add(&self, since: Instant) {
-        self.0
-            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    fn seconds(&self) -> f64 {
-        self.0.load(Ordering::Relaxed) as f64 * 1e-9
-    }
-}
-
-/// Runs a closure on drop — used so that channel close / liveness
-/// bookkeeping happens even when a stage panics, turning a bug-induced
-/// panic into a propagated failure instead of a pipeline deadlock (workers
-/// blocked forever on a channel nobody will close).
-struct Defer<F: FnMut()>(F);
-
-impl<F: FnMut()> Drop for Defer<F> {
-    fn drop(&mut self) {
-        (self.0)();
-    }
-}
-
-/// Train-stage input adaptor: receives possibly out-of-order prepared
-/// batches and yields them in epoch order, tracking starvation time and the
-/// reorder window.
-struct Reorder<'a> {
-    source: &'a Bounded<PreparedBatch>,
-    pending: BTreeMap<usize, PreparedBatch>,
-    next_index: usize,
-    wait: Duration,
-    peak: usize,
-}
-
-impl<'a> Reorder<'a> {
-    fn new(source: &'a Bounded<PreparedBatch>) -> Self {
-        Self {
-            source,
-            pending: BTreeMap::new(),
-            next_index: 0,
-            wait: Duration::ZERO,
-            peak: 0,
-        }
-    }
-}
-
-impl Iterator for Reorder<'_> {
-    type Item = PreparedBatch;
-
-    fn next(&mut self) -> Option<PreparedBatch> {
-        loop {
-            if let Some(item) = self.pending.remove(&self.next_index) {
-                self.next_index += 1;
-                return Some(item);
-            }
-            let t0 = Instant::now();
-            let received = self.source.recv();
-            self.wait += t0.elapsed();
-            match received {
-                Some(item) => {
-                    self.pending.insert(item.index, item);
-                    self.peak = self.peak.max(self.pending.len());
-                }
-                None => return None,
-            }
-        }
-    }
-}
-
-/// The multi-threaded pipelined executor (see module docs).
+/// The single-epoch pipelined executor — a compatibility facade over the
+/// persistent [`TrainingEngine`] (see module docs).
 pub struct PipelineExecutor {
     config: PipelineConfig,
 }
@@ -272,143 +120,34 @@ impl PipelineExecutor {
         &self.config
     }
 
-    /// The transfer stage for one batch: account host→device bytes and,
-    /// when a simulated link is configured, stall for the PCIe time.
-    /// Shared by the pipelined and sequential runners so their per-batch
-    /// costing can never drift apart.
-    fn transfer_stage(&self, batch: &PreparedBatch, h2d_bytes: &AtomicU64) {
-        let bytes = batch.h2d_bytes();
-        h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
-        if self.config.h2d_gibps > 0.0 {
-            let secs = bytes as f64 / (self.config.h2d_gibps * (1u64 << 30) as f64);
-            std::thread::sleep(Duration::from_secs_f64(secs));
-        }
-    }
-
     /// Runs one epoch through the concurrent stage graph. Numerically
     /// identical to `trainer.train_epoch(epoch)` (see module docs).
+    ///
+    /// Compatibility wrapper: spawns a one-epoch engine session, paying
+    /// thread startup per call. Loops over epochs should use
+    /// [`TrainingEngine::run_session`] instead.
     pub fn run_epoch(
         &self,
         trainer: &mut ConvergenceTrainer,
         epoch: usize,
     ) -> (EpochObservation, PipelineReport) {
-        let cfg = &self.config;
-        let dataset = trainer.dataset_handle();
-        let sampler = trainer.sampler().clone();
-        let config_seed = trainer.config().seed;
-        let batches = trainer.epoch_batches(epoch);
-        let total = batches.len();
-
-        let sampled: Bounded<(usize, Vec<neutron_sample::Block>)> = Bounded::new(cfg.channel_depth);
-        let prepared: Bounded<PreparedBatch> = Bounded::new(cfg.channel_depth);
-        let ready: Bounded<PreparedBatch> = Bounded::new(cfg.channel_depth);
-        let next_batch = AtomicUsize::new(0);
-        let live_samplers = AtomicUsize::new(cfg.sampler_threads);
-        let live_gatherers = AtomicUsize::new(cfg.gather_threads);
-        let sample_busy = BusyNs::default();
-        let gather_busy = BusyNs::default();
-        let transfer_busy = BusyNs::default();
-        let h2d_bytes = AtomicU64::new(0);
-
-        let wall = Instant::now();
-        let mut stats = None;
-        let mut train_wait = Duration::ZERO;
-        let mut reorder_peak = 0usize;
-        std::thread::scope(|scope| {
-            // If the train stage (this thread) panics, unblock every worker
-            // so `thread::scope` can join them and propagate the panic
-            // instead of deadlocking.
-            let _unblock_workers = Defer(|| {
-                sampled.close();
-                prepared.close();
-                ready.close();
-            });
-            for _ in 0..cfg.sampler_threads {
-                scope.spawn(|| {
-                    let _liveness = Defer(|| {
-                        if live_samplers.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            sampled.close();
-                        }
-                    });
-                    loop {
-                        let i = next_batch.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        let t0 = Instant::now();
-                        let blocks = sampler.sample_batch(
-                            &dataset.csr,
-                            &batches[i],
-                            batch_sample_seed(config_seed, epoch, i),
-                        );
-                        sample_busy.add(t0);
-                        if !sampled.send((i, blocks)) {
-                            break;
-                        }
-                    }
-                });
-            }
-            for _ in 0..cfg.gather_threads {
-                scope.spawn(|| {
-                    let _liveness = Defer(|| {
-                        if live_gatherers.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            prepared.close();
-                        }
-                    });
-                    while let Some((index, blocks)) = sampled.recv() {
-                        let t0 = Instant::now();
-                        let features =
-                            ConvergenceTrainer::gather_features(&dataset, blocks[0].src());
-                        gather_busy.add(t0);
-                        if !prepared.send(PreparedBatch {
-                            index,
-                            blocks,
-                            features,
-                        }) {
-                            break;
-                        }
-                    }
-                });
-            }
-            scope.spawn(|| {
-                let _liveness = Defer(|| ready.close());
-                while let Some(batch) = prepared.recv() {
-                    let t0 = Instant::now();
-                    self.transfer_stage(&batch, &h2d_bytes);
-                    transfer_busy.add(t0);
-                    if !ready.send(batch) {
-                        break;
-                    }
-                }
-            });
-
-            // Train stage on the calling thread: in-order, owns the model.
-            let mut reorder = Reorder::new(&ready);
-            stats = Some(trainer.train_batches(&mut reorder));
-            // Drain any leftovers so upstream senders can't block forever
-            // (only possible if train_batches stopped early).
-            ready.close();
-            while reorder.next().is_some() {}
-            train_wait = reorder.wait;
-            reorder_peak = reorder.peak;
+        let engine = TrainingEngine::new(EngineConfig {
+            pipeline: self.config.clone(),
+            adaptive_split: false,
+            gpu_free_bytes: 0,
         });
-
-        // The timed region covers the stage graph only; test-set evaluation
-        // is inference, not training, and stays out of throughput numbers.
-        let epoch_seconds = wall.elapsed().as_secs_f64();
-        let observation = trainer.observe_epoch(stats.expect("train stage ran"));
-        let report = PipelineReport {
-            epoch_seconds,
-            num_batches: total,
-            sample_seconds: sample_busy.seconds(),
-            gather_collect_seconds: gather_busy.seconds(),
-            transfer_seconds: transfer_busy.seconds(),
-            train_seconds: (epoch_seconds - train_wait.as_secs_f64()).max(0.0),
-            train_wait_seconds: train_wait.as_secs_f64(),
-            h2d_bytes: h2d_bytes.load(Ordering::Relaxed),
-            reorder_peak,
-        };
-        (observation, report)
+        // Time the whole one-epoch session minus test-set evaluation: this
+        // compat path pays worker spawn/join *per epoch*, and that overhead
+        // is exactly what distinguishes it from a persistent session —
+        // hiding it would make the respawn-vs-engine comparison
+        // meaningless. Evaluation stays out of the timed region, as always.
+        let wall = Instant::now();
+        let mut session = engine.run_session(trainer, epoch, 1);
+        let mut run = session.epochs.pop().expect("session ran one epoch");
+        let epoch_seconds = (wall.elapsed().as_secs_f64() - run.eval_seconds).max(0.0);
+        run.report.epoch_seconds = epoch_seconds;
+        run.report.train_seconds = (epoch_seconds - run.report.train_wait_seconds).max(0.0);
+        (run.observation, run.report)
     }
 
     /// The unpipelined baseline: the *same* stage costing (including the
@@ -450,7 +189,7 @@ impl PipelineExecutor {
                 features,
             };
             let t2 = Instant::now();
-            self.transfer_stage(&item, &h2d_bytes);
+            transfer_stage(&self.config, &item, &h2d_bytes);
             transfer_busy.add(t2);
             item
         });
@@ -481,7 +220,6 @@ mod tests {
     use crate::trainer::{ReusePolicy, TrainerConfig};
     use neutron_graph::DatasetSpec;
     use neutron_nn::LayerKind;
-    use std::sync::Arc;
 
     fn trainer(policy: ReusePolicy) -> ConvergenceTrainer {
         let ds = DatasetSpec::tiny().build_full();
@@ -489,44 +227,6 @@ mod tests {
         cfg.batch_size = 64;
         cfg.lr = 0.5;
         ConvergenceTrainer::new(ds, cfg)
-    }
-
-    #[test]
-    fn bounded_channel_blocks_at_capacity_and_drains_after_close() {
-        let ch: Arc<Bounded<u32>> = Arc::new(Bounded::new(2));
-        let producer = {
-            let ch = Arc::clone(&ch);
-            std::thread::spawn(move || {
-                for i in 0..10 {
-                    assert!(ch.send(i));
-                }
-                ch.close();
-            })
-        };
-        let mut got = Vec::new();
-        while let Some(v) = ch.recv() {
-            got.push(v);
-        }
-        producer.join().unwrap();
-        assert_eq!(got, (0..10).collect::<Vec<_>>());
-        // After close, sends are rejected and recv keeps returning None.
-        assert!(!ch.send(99));
-        assert!(ch.recv().is_none());
-    }
-
-    #[test]
-    fn reorder_restores_epoch_order() {
-        let ch: Bounded<PreparedBatch> = Bounded::new(8);
-        for index in [2usize, 0, 1, 3] {
-            ch.send(PreparedBatch {
-                index,
-                blocks: Vec::new(),
-                features: neutron_tensor::Matrix::zeros(1, 1),
-            });
-        }
-        ch.close();
-        let order: Vec<usize> = Reorder::new(&ch).map(|b| b.index).collect();
-        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! bottom layer and gradients through them are actually cut, so accuracy
 //! differences between policies are measured, not modelled.
 
+use crate::refresh::{CpuPart, InlineRefresh, RefreshBackend, RefreshOutput, RefreshTask};
 use neutron_cache::EmbeddingStore;
 use neutron_graph::{Dataset, VertexId};
 use neutron_nn::loss::cross_entropy;
@@ -133,6 +134,15 @@ pub struct BatchLoopStats {
     pub staleness_epsilon: f32,
 }
 
+/// A refresh created at one super-batch boundary, held until the next
+/// boundary publishes it — the double buffer of the Fig 8 pipeline. Rows
+/// split between the training device (`gpu`, computed at creation) and the
+/// CPU share (`cpu`, possibly still in flight on a refresh worker).
+struct PendingRefresh {
+    gpu: RefreshOutput,
+    cpu: CpuPart,
+}
+
 /// A numeric trainer over a fully materialised [`Dataset`].
 pub struct ConvergenceTrainer {
     dataset: Arc<Dataset>,
@@ -145,6 +155,15 @@ pub struct ConvergenceTrainer {
     hot: Option<HotSet>,
     /// Global batch counter == model parameter version (§4.2.2).
     version: u64,
+    /// Share of the hot set whose refresh the CPU backend computes; the
+    /// remainder is computed by the training device at the boundary. Set by
+    /// the engine's occupancy feedback (§4.1.3); numerically inert.
+    refresh_cpu_fraction: f64,
+    /// The refresh in flight between two super-batch boundaries.
+    pending_refresh: Option<PendingRefresh>,
+    /// Reusable sampler scratch for the boundary's training-device refresh
+    /// share (avoids an `O(|V|)` buffer init per super-batch).
+    refresh_scratch: neutron_sample::SamplerScratch,
 }
 
 impl ConvergenceTrainer {
@@ -203,6 +222,9 @@ impl ConvergenceTrainer {
             store,
             hot,
             version: 0,
+            refresh_cpu_fraction: 1.0,
+            pending_refresh: None,
+            refresh_scratch: neutron_sample::SamplerScratch::new(),
         }
     }
 
@@ -287,8 +309,32 @@ impl ConvergenceTrainer {
     /// The epoch's batch loop alone — training, the super-batch barrier and
     /// the §4.3 weight-variation monitor, but no test-set evaluation.
     /// Executors time this separately so throughput numbers measure
-    /// training, not inference.
+    /// training, not inference. Refresh work runs inline on the calling
+    /// thread; see [`Self::train_batches_with`] for executor-supplied
+    /// refresh backends.
     pub fn train_batches<I>(&mut self, prepared: I) -> BatchLoopStats
+    where
+        I: IntoIterator<Item = PreparedBatch>,
+    {
+        self.train_batches_with(prepared, &mut InlineRefresh::default())
+    }
+
+    /// [`Self::train_batches`] with the CPU share of each super-batch
+    /// refresh delegated to `backend`. The super-batch boundary is
+    /// **publish-then-launch**: rows computed from the *previous* boundary's
+    /// parameter snapshot are installed into the store, then a new
+    /// [`RefreshTask`] is captured from the current parameters and handed to
+    /// the backend to compute during the upcoming super-batch. Embeddings
+    /// read during super-batch `k` therefore carry the version of boundary
+    /// `k−1`, giving a gap in `[n, 2n−1]` — the paper's `< 2n` bound — while
+    /// the refresh itself overlaps training. Numbers are independent of the
+    /// backend: the task is a pure function of its snapshot (see
+    /// [`crate::refresh`]).
+    pub fn train_batches_with<I>(
+        &mut self,
+        prepared: I,
+        backend: &mut dyn RefreshBackend,
+    ) -> BatchLoopStats
     where
         I: IntoIterator<Item = PreparedBatch>,
     {
@@ -306,12 +352,13 @@ impl ConvergenceTrainer {
             );
             if super_n != usize::MAX && bi % super_n == 0 {
                 // Super-batch boundary: measure how far the weights moved
-                // during the last super-batch, then refresh hot embeddings.
+                // during the last super-batch, publish the refresh computed
+                // from the previous boundary's snapshot, and launch the next.
                 if let Some(snap) = &snapshot {
                     max_delta = max_delta.max(self.model.max_weight_delta(snap));
                     snapshot = Some(self.model.snapshot());
                 }
-                self.refresh_hot_embeddings();
+                self.refresh_boundary(backend);
             }
             losses.push(self.train_prepared(&item.blocks, &item.features));
             self.version += 1;
@@ -398,33 +445,82 @@ impl ConvergenceTrainer {
         lr.loss
     }
 
-    /// CPU-side refresh of every hot vertex's bottom-layer embedding using
-    /// the latest parameters (stage 2 of the super-batch pipeline).
-    fn refresh_hot_embeddings(&mut self) {
-        let hot: Vec<VertexId> = match &self.hot {
-            Some(h) => h.vertices().to_vec(),
-            None => return,
+    /// One super-batch boundary of the double-buffered refresh pipeline:
+    /// publish the rows prepared during the last super-batch, then capture
+    /// a fresh parameter snapshot and launch the next refresh. The hot set
+    /// is split by [`Self::refresh_cpu_fraction`]: the training device
+    /// computes its share immediately (it has the hot features cached,
+    /// §4.1.3), the CPU share goes to `backend` — inline for the sequential
+    /// trainer, a dedicated worker under the engine.
+    fn refresh_boundary(&mut self, backend: &mut dyn RefreshBackend) {
+        let hot = match &self.hot {
+            Some(h) if !h.is_empty() => h,
+            _ => return,
         };
-        if hot.is_empty() {
-            return;
-        }
-        let fanout0 = self.sampler.fanout().at(0);
-        let mut rng_seed = self.version ^ 0x5b;
-        // One shared one-hop block over all hot vertices.
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(rng_seed);
-        rng_seed = rng_seed.wrapping_add(1);
-        let _ = rng_seed;
-        let block = self
-            .sampler
-            .sample_one_hop(&self.dataset.csr, &hot, fanout0, &mut rng);
-        let feats = self.gather(block.src());
-        let (out, _ctx) = self.model.layers()[0].forward(&block, &feats);
-        let version = self.version;
-        if let Some(store) = &mut self.store {
-            for (i, &v) in hot.iter().enumerate() {
-                store.put(v, out.row(i).to_vec(), version);
+        // Publish: the refresh computed from the *previous* boundary's
+        // snapshot becomes visible now, stamped with that older version.
+        if let Some(pending) = self.pending_refresh.take() {
+            let cpu = match pending.cpu {
+                CpuPart::Ready(out) => out,
+                CpuPart::Submitted => backend.collect(),
+            };
+            if let Some(store) = &mut self.store {
+                store.put_rows(cpu.rows, cpu.version);
+                store.put_rows(pending.gpu.rows, pending.gpu.version);
             }
         }
+        // Launch: snapshot the bottom layer at the current version and
+        // split the worklist. Both partitions are pure functions of the
+        // same snapshot and seed, so the split never changes the rows.
+        let (cpu_vertices, gpu_vertices) = hot.split_cpu_gpu(self.refresh_cpu_fraction);
+        let fanout0 = self.sampler.fanout().at(0);
+        let version = self.version;
+        let seed = version ^ 0x5b;
+        let make = |vertices: Vec<VertexId>, trainer: &Self| {
+            RefreshTask::new(
+                Arc::clone(&trainer.dataset),
+                trainer.model.layers()[0].clone(),
+                trainer.sampler.clone(),
+                vertices,
+                fanout0,
+                version,
+                seed,
+            )
+        };
+        let gpu_task = make(gpu_vertices, self);
+        let cpu_task = make(cpu_vertices, self);
+        let gpu = gpu_task.run_with_scratch(&mut self.refresh_scratch);
+        let cpu = backend.submit(cpu_task);
+        self.pending_refresh = Some(PendingRefresh { gpu, cpu });
+    }
+
+    /// Resolves any refresh still in flight on `backend` so the trainer can
+    /// outlive the backend (e.g. the end of an engine session): a
+    /// `Submitted` CPU share is collected and held as ready rows, to be
+    /// published at whatever boundary comes next.
+    pub fn settle_refresh(&mut self, backend: &mut dyn RefreshBackend) {
+        if let Some(pending) = &mut self.pending_refresh {
+            if matches!(pending.cpu, CpuPart::Submitted) {
+                pending.cpu = CpuPart::Ready(backend.collect());
+            }
+        }
+    }
+
+    /// The hot-vertex set under `HotnessAware`, `None` otherwise.
+    pub fn hot_set(&self) -> Option<&HotSet> {
+        self.hot.as_ref()
+    }
+
+    /// Sets the share of the hot set refreshed by the CPU backend (the
+    /// §4.1.3 hybrid split knob). Clamped to `[0, 1]`. Changing the split
+    /// moves work between devices but never changes training numerics.
+    pub fn set_refresh_cpu_fraction(&mut self, fraction: f64) {
+        self.refresh_cpu_fraction = fraction.clamp(0.0, 1.0);
+    }
+
+    /// The current CPU share of the refresh split.
+    pub fn refresh_cpu_fraction(&self) -> f64 {
+        self.refresh_cpu_fraction
     }
 
     fn gather(&self, src: &[VertexId]) -> Matrix {

@@ -26,6 +26,6 @@ pub use block::Block;
 pub use fanout::Fanout;
 pub use full::{full_blocks, full_one_hop};
 pub use hotness::{HotSet, HotnessRanking};
-pub use neighbor::NeighborSampler;
+pub use neighbor::{NeighborSampler, SamplerScratch};
 pub use presample::PreSampler;
 pub use stats::SampleStats;

@@ -5,7 +5,72 @@ use crate::fanout::Fanout;
 use neutron_graph::{Csr, VertexId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+
+/// Reusable vertex→local-index scratch for block construction.
+///
+/// Deduplicating a hop's source set used to go through a per-call `HashMap`;
+/// profiling flagged it as the sampling hot path (hashing dominates on dense
+/// frontiers). The scratch replaces it with two dense arrays indexed by
+/// vertex id plus a **generation stamp**: an entry is valid only when its
+/// stamp equals the current generation, so "clearing" the structure between
+/// hops is a single counter increment, not an `O(|V|)` wipe.
+#[derive(Clone, Debug, Default)]
+pub struct SamplerScratch {
+    /// `stamp[v] == generation` means `local[v]` is valid for this hop.
+    stamp: Vec<u32>,
+    /// Local (block-level) index of vertex `v` in the current hop's src set.
+    local: Vec<u32>,
+    generation: u32,
+}
+
+impl SamplerScratch {
+    /// An empty scratch; buffers grow lazily to the graph's vertex count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new hop over a graph of `n` vertices: bumps the generation
+    /// and grows the buffers if this graph is larger than any seen before.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.local.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: old entries could alias generation 0, so
+            // pay one full wipe every 2^32 hops.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Registers destination `v` at local index `i`. Overwrites any earlier
+    /// registration (duplicate dst entries resolve to the last occurrence,
+    /// matching the historical `HashMap::from_iter` behaviour).
+    #[inline]
+    fn seed_dst(&mut self, v: VertexId, i: u32) {
+        let slot = v as usize;
+        self.stamp[slot] = self.generation;
+        self.local[slot] = i;
+    }
+
+    /// Interns neighbor `v`: returns its local index, assigning the next one
+    /// (and recording `v` in `src`) on first sight within the current hop.
+    #[inline]
+    fn intern(&mut self, v: VertexId, src: &mut Vec<VertexId>) -> u32 {
+        let slot = v as usize;
+        if self.stamp[slot] == self.generation {
+            self.local[slot]
+        } else {
+            let idx = src.len() as u32;
+            src.push(v);
+            self.stamp[slot] = self.generation;
+            self.local[slot] = idx;
+            idx
+        }
+    }
+}
 
 /// Uniform fanout neighbor sampler.
 ///
@@ -34,12 +99,32 @@ impl NeighborSampler {
     /// `blocks.last()` produces the seed embeddings. The reverse traversal
     /// (top → bottom) follows Algorithm 1's `for l = L to 1`.
     pub fn sample_batch(&self, g: &Csr, seeds: &[VertexId], seed: u64) -> Vec<Block> {
+        let mut scratch = SamplerScratch::new();
+        self.sample_batch_with_scratch(g, seeds, seed, &mut scratch)
+    }
+
+    /// [`Self::sample_batch`] with a caller-owned [`SamplerScratch`], so
+    /// long-lived sampler workers amortise the dedup buffers across every
+    /// batch they ever sample instead of reallocating per call.
+    pub fn sample_batch_with_scratch(
+        &self,
+        g: &Csr,
+        seeds: &[VertexId],
+        seed: u64,
+        scratch: &mut SamplerScratch,
+    ) -> Vec<Block> {
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = self.fanout.layers();
         let mut blocks = Vec::with_capacity(layers);
         let mut frontier: Vec<VertexId> = seeds.to_vec();
         for l in (0..layers).rev() {
-            let block = self.sample_one_hop(g, &frontier, self.fanout.at(l), &mut rng);
+            let block = self.sample_one_hop_with_scratch(
+                g,
+                &frontier,
+                self.fanout.at(l),
+                &mut rng,
+                scratch,
+            );
             frontier = block.src().to_vec();
             blocks.push(block);
         }
@@ -55,32 +140,106 @@ impl NeighborSampler {
         fanout: usize,
         rng: &mut StdRng,
     ) -> Block {
-        let dst: Vec<VertexId> = frontier.to_vec();
-        let mut src: Vec<VertexId> = dst.clone();
-        let mut local: HashMap<VertexId, u32> = dst
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        let mut offsets = Vec::with_capacity(dst.len() + 1);
-        offsets.push(0u32);
-        let mut indices = Vec::with_capacity(dst.len() * fanout);
-        let mut scratch: Vec<VertexId> = Vec::with_capacity(fanout);
-        for &v in &dst {
-            scratch.clear();
-            sample_distinct_neighbors(g, v, fanout, rng, &mut scratch);
-            for &u in &scratch {
-                let next = src.len() as u32;
-                let idx = *local.entry(u).or_insert_with(|| {
-                    src.push(u);
-                    next
-                });
-                indices.push(idx);
-            }
-            offsets.push(indices.len() as u32);
-        }
-        Block::new(dst, src, offsets, indices)
+        let mut scratch = SamplerScratch::new();
+        self.sample_one_hop_with_scratch(g, frontier, fanout, rng, &mut scratch)
     }
+
+    /// [`Self::sample_one_hop`] against a reusable scratch. Produces blocks
+    /// identical to the historical `HashMap`-deduplicated path: local
+    /// indices are assigned in first-seen order and the rng is consumed in
+    /// exactly the same sequence.
+    pub fn sample_one_hop_with_scratch(
+        &self,
+        g: &Csr,
+        frontier: &[VertexId],
+        fanout: usize,
+        rng: &mut StdRng,
+        scratch: &mut SamplerScratch,
+    ) -> Block {
+        one_hop_dedup(g, frontier, fanout, scratch, |g, v, picks| {
+            sample_distinct_neighbors(g, v, fanout, rng, picks)
+        })
+    }
+
+    /// One-hop block whose neighbor draws are seeded **per vertex** by
+    /// `(seed, v)` rather than by one shared rng stream: any subset of
+    /// `frontier` samples exactly the same neighbors for its members as the
+    /// full set would. This partition stability is what lets the hybrid
+    /// hot-embedding refresh split its worklist between devices (§4.1.3)
+    /// without the split ever changing a sampled neighborhood.
+    pub fn sample_one_hop_stable(
+        &self,
+        g: &Csr,
+        frontier: &[VertexId],
+        fanout: usize,
+        seed: u64,
+    ) -> Block {
+        let mut scratch = SamplerScratch::new();
+        self.sample_one_hop_stable_with_scratch(g, frontier, fanout, seed, &mut scratch)
+    }
+
+    /// [`Self::sample_one_hop_stable`] against a caller-owned scratch, so
+    /// repeat refreshers (the engine's refresh worker, the trainer's
+    /// boundary share) skip the `O(|V|)` buffer (re)initialisation per call.
+    pub fn sample_one_hop_stable_with_scratch(
+        &self,
+        g: &Csr,
+        frontier: &[VertexId],
+        fanout: usize,
+        seed: u64,
+        scratch: &mut SamplerScratch,
+    ) -> Block {
+        one_hop_dedup(g, frontier, fanout, scratch, |g, v, picks| {
+            let mut rng = StdRng::seed_from_u64(per_vertex_seed(seed, v));
+            sample_distinct_neighbors(g, v, fanout, &mut rng, picks)
+        })
+    }
+}
+
+/// The shared one-hop block builder: dst prefix, scratch-based dedup and
+/// offset/index assembly, with the neighbor draws supplied by `pick` (a
+/// shared-rng stream for batch sampling, per-vertex seeded rngs for the
+/// partition-stable refresh path). Keeping one body guarantees the two
+/// sampling modes can never drift in their interning semantics.
+fn one_hop_dedup<F>(
+    g: &Csr,
+    frontier: &[VertexId],
+    fanout: usize,
+    scratch: &mut SamplerScratch,
+    mut pick: F,
+) -> Block
+where
+    F: FnMut(&Csr, VertexId, &mut Vec<VertexId>),
+{
+    let dst: Vec<VertexId> = frontier.to_vec();
+    let mut src: Vec<VertexId> = dst.clone();
+    src.reserve(dst.len() * fanout);
+    scratch.begin(g.num_vertices());
+    for (i, &v) in dst.iter().enumerate() {
+        scratch.seed_dst(v, i as u32);
+    }
+    let mut offsets = Vec::with_capacity(dst.len() + 1);
+    offsets.push(0u32);
+    let mut indices = Vec::with_capacity(dst.len() * fanout);
+    let mut picks: Vec<VertexId> = Vec::with_capacity(fanout);
+    for &v in &dst {
+        picks.clear();
+        pick(g, v, &mut picks);
+        for &u in &picks {
+            indices.push(scratch.intern(u, &mut src));
+        }
+        offsets.push(indices.len() as u32);
+    }
+    Block::new(dst, src, offsets, indices)
+}
+
+/// Decorrelates the shared refresh seed across vertices (splitmix64 finalizer
+/// over `seed + v`), so adjacent vertex ids do not draw correlated streams.
+fn per_vertex_seed(seed: u64, v: VertexId) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Samples up to `fanout` distinct in-neighbors of `v` into `out`.
@@ -211,5 +370,92 @@ mod tests {
         let blocks = s.sample_batch(&g, &[0], 1);
         assert_eq!(blocks[0].num_src(), 1);
         assert_eq!(blocks[0].num_edges(), 0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_across_calls() {
+        let g = erdos_renyi(200, 5000, 7);
+        let s = NeighborSampler::new(Fanout::new(vec![4, 3]));
+        let mut scratch = SamplerScratch::new();
+        for seed in 0..20u64 {
+            let seeds: Vec<VertexId> = (0..10).map(|i| (seed as u32 * 7 + i) % 200).collect();
+            let fresh = s.sample_batch(&g, &seeds, seed);
+            let reused = s.sample_batch_with_scratch(&g, &seeds, seed, &mut scratch);
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(&reused) {
+                assert_eq!(a.dst(), b.dst(), "seed {seed}");
+                assert_eq!(a.src(), b.src(), "seed {seed}");
+                assert_eq!(a.num_edges(), b.num_edges(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_sampling_is_partition_invariant() {
+        let g = erdos_renyi(150, 6000, 11);
+        let s = NeighborSampler::new(Fanout::new(vec![4]));
+        let frontier: Vec<VertexId> = (0..60).collect();
+        let full = s.sample_one_hop_stable(&g, &frontier, 4, 99);
+        // Any split point: each vertex's sampled neighbor list (as actual
+        // vertex ids, in draw order) is identical to the full-set run.
+        for split in [0usize, 17, 30, 60] {
+            for part in [&frontier[..split], &frontier[split..]] {
+                if part.is_empty() {
+                    continue;
+                }
+                let sub = s.sample_one_hop_stable(&g, part, 4, 99);
+                for (i, &v) in part.iter().enumerate() {
+                    let j = frontier.iter().position(|&x| x == v).unwrap();
+                    let expect: Vec<VertexId> = full
+                        .neighbors_local(j)
+                        .iter()
+                        .map(|&li| full.src()[li as usize])
+                        .collect();
+                    let got: Vec<VertexId> = sub
+                        .neighbors_local(i)
+                        .iter()
+                        .map(|&li| sub.src()[li as usize])
+                        .collect();
+                    assert_eq!(got, expect, "vertex {v} split {split}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_sampling_differs_by_seed_but_not_frontier_order() {
+        let g = erdos_renyi(100, 4000, 13);
+        let s = NeighborSampler::new(Fanout::new(vec![3]));
+        let a = s.sample_one_hop_stable(&g, &[5, 6, 7], 3, 1);
+        let b = s.sample_one_hop_stable(&g, &[7, 6, 5], 3, 1);
+        for (i, &v) in [5u32, 6, 7].iter().enumerate() {
+            let j = 2 - i;
+            let na: Vec<VertexId> = a
+                .neighbors_local(i)
+                .iter()
+                .map(|&l| a.src()[l as usize])
+                .collect();
+            let nb: Vec<VertexId> = b
+                .neighbors_local(j)
+                .iter()
+                .map(|&l| b.src()[l as usize])
+                .collect();
+            assert_eq!(na, nb, "vertex {v}");
+        }
+        let c = s.sample_one_hop_stable(&g, &[5, 6, 7], 3, 2);
+        let same = (0..3).all(|i| {
+            let na: Vec<VertexId> = a
+                .neighbors_local(i)
+                .iter()
+                .map(|&l| a.src()[l as usize])
+                .collect();
+            let nc: Vec<VertexId> = c
+                .neighbors_local(i)
+                .iter()
+                .map(|&l| c.src()[l as usize])
+                .collect();
+            na == nc
+        });
+        assert!(!same, "different seeds should draw different neighborhoods");
     }
 }

@@ -1,0 +1,195 @@
+//! Multi-epoch training through the persistent [`TrainingEngine`]: one
+//! worker pool for the whole run, super-batch refreshes overlapped on a
+//! dedicated worker, and the §4.1.3 hybrid split re-planned every epoch
+//! from measured train-stage occupancy.
+//!
+//! ```text
+//! cargo run --release --example engine_multi_epoch
+//! ```
+//!
+//! Three executors run the *same* training trajectory (bit-identical loss,
+//! asserted below):
+//!
+//! 1. `sequential` — the unpipelined baseline, every stage on one thread;
+//! 2. `respawn` — `PipelineExecutor::run_epoch` per epoch, which spawns
+//!    and joins the stage workers every call;
+//! 3. `engine` — one `TrainingEngine` session: workers spawned once,
+//!    parked on the generation-stamped epoch gate between epochs, refresh
+//!    on its own worker, adaptive split on.
+//!
+//! Replica methodology: as in `pipeline_executor.rs`, the simulated PCIe
+//! link is calibrated so transfer ≈ 50% of measured compute (the Fig 2
+//! Case-1 regime); the identical stall applies to all three executors.
+//! No timing assertions — the container is single-core and shared; the
+//! numbers are recorded in `BENCH_engine.json` for trajectory tracking.
+
+use neutronorch::core::engine::{EngineConfig, TrainingEngine};
+use neutronorch::core::pipeline::{PipelineConfig, PipelineExecutor};
+use neutronorch::core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
+use neutronorch::graph::DatasetSpec;
+use neutronorch::nn::LayerKind;
+
+const EPOCHS: usize = 8;
+const SUPER_BATCH: usize = 2;
+const SAMPLER_THREADS: usize = 2;
+const GATHER_THREADS: usize = 1;
+
+fn trainer(spec: &DatasetSpec) -> ConvergenceTrainer {
+    let config = TrainerConfig {
+        kind: LayerKind::Gcn,
+        layers: 2,
+        batch_size: 256,
+        lr: 0.2,
+        seed: 0xe4e,
+        policy: ReusePolicy::HotnessAware {
+            hot_ratio: 0.2,
+            super_batch: SUPER_BATCH,
+        },
+    };
+    ConvergenceTrainer::new(spec.build_full(), config)
+}
+
+fn fmt_series(xs: &[f64]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| format!("{x:.4}")).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn main() {
+    // Reddit-conv scaled 2x in vertices (4x in edges): big enough that
+    // per-epoch times dominate timer noise, small enough for a CI smoke run.
+    let mut spec = DatasetSpec::reddit_convergence();
+    spec.vertices = 8_000;
+    spec.edges = 640_000;
+    println!(
+        "building {} replica (|V|={}, {} feature dims, {} epochs)...",
+        spec.name, spec.vertices, spec.feature_dim, EPOCHS
+    );
+
+    // --- Calibration: one pure-compute epoch (no transfer stall). -------
+    let mut cal = trainer(&spec);
+    let calibrate = PipelineExecutor::new(PipelineConfig {
+        sampler_threads: 1,
+        gather_threads: 1,
+        channel_depth: 4,
+        h2d_gibps: 0.0,
+    });
+    let (_, compute) = calibrate.run_epoch_sequential(&mut cal, 0);
+    let h2d_gibps = compute.h2d_bytes as f64 / (0.5 * compute.epoch_seconds) / (1u64 << 30) as f64;
+    println!(
+        "calibration: compute epoch {:.2}s, {:.1} MiB h2d -> simulated link {:.3} GiB/s\n",
+        compute.epoch_seconds,
+        compute.h2d_bytes as f64 / (1u64 << 20) as f64,
+        h2d_gibps
+    );
+    let pipeline = PipelineConfig {
+        sampler_threads: SAMPLER_THREADS,
+        gather_threads: GATHER_THREADS,
+        channel_depth: 4,
+        h2d_gibps,
+    };
+
+    // --- Mode 1: sequential reference (also the determinism oracle). ----
+    let exec = PipelineExecutor::new(pipeline.clone());
+    let mut seq_trainer = trainer(&spec);
+    let mut seq_secs = Vec::with_capacity(EPOCHS);
+    let mut seq_loss = Vec::with_capacity(EPOCHS);
+    for epoch in 0..EPOCHS {
+        let (obs, report) = exec.run_epoch_sequential(&mut seq_trainer, epoch);
+        seq_secs.push(report.epoch_seconds);
+        seq_loss.push(obs.train_loss);
+    }
+
+    // --- Mode 2: compat path — respawn workers every epoch. -------------
+    let mut respawn_trainer = trainer(&spec);
+    let mut respawn_secs = Vec::with_capacity(EPOCHS);
+    for (epoch, &want_loss) in seq_loss.iter().enumerate() {
+        let (obs, report) = exec.run_epoch(&mut respawn_trainer, epoch);
+        respawn_secs.push(report.epoch_seconds);
+        assert_eq!(
+            obs.train_loss, want_loss,
+            "respawn executor diverged at epoch {epoch}"
+        );
+    }
+
+    // --- Mode 3: persistent engine, adaptive split active. --------------
+    let engine = TrainingEngine::new(EngineConfig {
+        pipeline,
+        adaptive_split: true,
+        gpu_free_bytes: 64 << 20,
+    });
+    let mut engine_trainer = trainer(&spec);
+    let session = engine.run_session(&mut engine_trainer, 0, EPOCHS);
+    println!(
+        "engine session: {} workers spawned once ({:.4}s startup) for {} generations\n",
+        session.workers_spawned, session.startup_seconds, session.generations
+    );
+    println!("epoch  sequential  respawn   engine   occup  cpu_frac  refresh_s  loss");
+    for (e, run) in session.epochs.iter().enumerate() {
+        assert_eq!(
+            run.observation.train_loss, seq_loss[e],
+            "engine diverged at epoch {e}"
+        );
+        assert!(
+            run.observation.max_staleness < 2 * SUPER_BATCH as u64,
+            "staleness bound violated"
+        );
+        println!(
+            "{e:>5}  {:>9.2}s {:>7.2}s {:>7.2}s  {:>5.2}  {:>8.2}  {:>8.2}s  {:.4}",
+            seq_secs[e],
+            respawn_secs[e],
+            run.report.epoch_seconds,
+            run.report.train_occupancy(),
+            run.refresh_cpu_fraction,
+            run.refresh_seconds,
+            run.observation.train_loss,
+        );
+    }
+    let engine_secs: Vec<f64> = session
+        .epochs
+        .iter()
+        .map(|r| r.report.epoch_seconds)
+        .collect();
+    let traj = session.cpu_fraction_trajectory();
+    let warm = |xs: &[f64]| xs[1..].iter().sum::<f64>() / (xs.len() - 1) as f64;
+    println!(
+        "\nepoch 1 (cold) vs mean of epochs 2..{EPOCHS} (warm): engine {:.2}s -> {:.2}s, respawn {:.2}s -> {:.2}s",
+        engine_secs[0],
+        warm(&engine_secs),
+        respawn_secs[0],
+        warm(&respawn_secs),
+    );
+    println!(
+        "adaptive CPU-refresh share trajectory: {}",
+        fmt_series(&traj)
+    );
+    println!(
+        "loss trajectory identical across all three executors (asserted): {}",
+        fmt_series(&seq_loss.iter().map(|&l| l as f64).collect::<Vec<_>>())
+    );
+
+    // --- Record the baseline. -------------------------------------------
+    let json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"adaptive_cpu_fraction\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
+        spec.name,
+        spec.vertices,
+        EPOCHS,
+        SUPER_BATCH,
+        SAMPLER_THREADS,
+        GATHER_THREADS,
+        h2d_gibps,
+        fmt_series(&seq_secs),
+        fmt_series(&respawn_secs),
+        fmt_series(&engine_secs),
+        engine_secs[0],
+        warm(&engine_secs),
+        warm(&respawn_secs),
+        fmt_series(&traj),
+        fmt_series(&session.epochs.iter().map(|r| r.refresh_seconds).collect::<Vec<_>>()),
+        fmt_series(&session.epochs.iter().map(|r| r.report.train_occupancy()).collect::<Vec<_>>()),
+        session.workers_spawned,
+        session.startup_seconds,
+        fmt_series(&seq_loss.iter().map(|&l| l as f64).collect::<Vec<_>>()),
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+}

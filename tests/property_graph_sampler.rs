@@ -1,9 +1,65 @@
 //! Property tests: CSR invariants and neighbor-sampler guarantees under
 //! randomly generated graphs and batches.
 
-use neutronorch::graph::{Csr, GraphBuilder};
-use neutronorch::sample::{Fanout, NeighborSampler};
+use neutronorch::graph::{Csr, GraphBuilder, VertexId};
+use neutronorch::sample::{Block, Fanout, NeighborSampler, SamplerScratch};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// The historical `HashMap`-deduplicated one-hop path, kept verbatim as the
+/// reference the dense-scratch rewrite must reproduce block-for-block (same
+/// local index assignment order, same rng consumption).
+fn reference_one_hop(g: &Csr, frontier: &[VertexId], fanout: usize, rng: &mut StdRng) -> Block {
+    let dst: Vec<VertexId> = frontier.to_vec();
+    let mut src: Vec<VertexId> = dst.clone();
+    let mut local: HashMap<VertexId, u32> = dst
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut offsets = Vec::with_capacity(dst.len() + 1);
+    offsets.push(0u32);
+    let mut indices = Vec::with_capacity(dst.len() * fanout);
+    for &v in &dst {
+        let picks = reference_distinct_neighbors(g, v, fanout, rng);
+        for &u in &picks {
+            let next = src.len() as u32;
+            let idx = *local.entry(u).or_insert_with(|| {
+                src.push(u);
+                next
+            });
+            indices.push(idx);
+        }
+        offsets.push(indices.len() as u32);
+    }
+    Block::new(dst, src, offsets, indices)
+}
+
+fn reference_distinct_neighbors(
+    g: &Csr,
+    v: VertexId,
+    fanout: usize,
+    rng: &mut StdRng,
+) -> Vec<VertexId> {
+    let neigh = g.neighbors(v);
+    if neigh.len() <= fanout {
+        return neigh.to_vec();
+    }
+    let n = neigh.len();
+    let k = fanout;
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.into_iter().map(|i| neigh[i]).collect()
+}
 
 /// Strategy: a random edge list over `n` vertices.
 fn edges(max_v: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
@@ -100,6 +156,48 @@ proptest! {
         for (x, y) in a.iter().zip(&bb) {
             prop_assert_eq!(x.src(), y.src());
             prop_assert_eq!(x.num_edges(), y.num_edges());
+        }
+    }
+
+    /// The dense-scratch dedup path produces blocks *identical* to the old
+    /// per-call `HashMap` path — same dst/src order, offsets and local
+    /// indices — for any graph, frontier, fanout and seed, including when
+    /// one scratch is reused across consecutive hops.
+    #[test]
+    fn scratch_path_identical_to_hashmap_path(
+        (n, es) in edges(48, 400),
+        fanout in 1usize..6,
+        seed in any::<u64>(),
+        hops in 1usize..4,
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (s, d) in &es {
+            b.add_edge(*s, *d);
+        }
+        let g = b.build();
+        let sampler = NeighborSampler::new(Fanout::new(vec![fanout]));
+        let mut scratch = SamplerScratch::new();
+        let mut ref_rng = StdRng::seed_from_u64(seed);
+        let mut new_rng = StdRng::seed_from_u64(seed);
+        let mut frontier: Vec<u32> = (0..(n as u32).min(6)).collect();
+        for hop in 0..hops {
+            let want = reference_one_hop(&g, &frontier, fanout, &mut ref_rng);
+            let got = sampler.sample_one_hop_with_scratch(
+                &g, &frontier, fanout, &mut new_rng, &mut scratch,
+            );
+            prop_assert_eq!(got.dst(), want.dst(), "hop {} dst", hop);
+            prop_assert_eq!(got.src(), want.src(), "hop {} src", hop);
+            prop_assert_eq!(got.num_edges(), want.num_edges(), "hop {} edges", hop);
+            for i in 0..want.num_dst() {
+                prop_assert_eq!(
+                    got.neighbors_local(i),
+                    want.neighbors_local(i),
+                    "hop {} dst {} local indices",
+                    hop,
+                    i
+                );
+            }
+            frontier = want.src().to_vec();
         }
     }
 }
