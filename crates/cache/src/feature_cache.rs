@@ -1,41 +1,108 @@
-//! GPU feature-cache bookkeeping (hit/miss accounting under a byte budget).
+//! GPU feature-cache bookkeeping and storage (hit/miss accounting under a
+//! byte budget, plus device-resident row copies for the cache-keyed gather).
+//!
+//! Zero-byte-row semantics (shared with [`crate::hybrid::HybridPolicy`]):
+//! a row of zero bytes costs nothing, so **any** budget — including zero —
+//! fits every candidate. Both the cache fill and the hybrid planner follow
+//! this rule so their capacity arithmetic can never disagree.
 
 use crate::policy::CacheRanking;
 use neutron_graph::VertexId;
 
+/// Slot-map sentinel for "vertex not cached".
+const NOT_CACHED: u32 = u32::MAX;
+
 /// A static GPU feature cache: the top-ranked vertices that fit in the byte
 /// budget. Tracks hit/miss counts for transfer-volume accounting (Fig 6c,
-/// Fig 13).
-#[derive(Clone, Debug)]
+/// Fig 13) and — when built with [`FeatureCache::for_vertices`] — holds the
+/// actual feature rows, standing in for GPU-resident memory so the gather
+/// stage can serve hits without touching the host feature matrix.
+#[derive(Clone, Debug, Default)]
 pub struct FeatureCache {
-    cached: Vec<bool>,
+    /// Vertex → cache slot; [`NOT_CACHED`] when absent.
+    slot: Vec<u32>,
     num_cached: usize,
     row_bytes: u64,
+    /// Device-resident feature rows, `dim` floats per slot. Empty for
+    /// bookkeeping-only caches built with [`FeatureCache::fill`].
+    rows: Vec<f32>,
+    dim: usize,
     hits: u64,
     misses: u64,
 }
 
 impl FeatureCache {
+    /// A cache holding nothing: every probe misses, no memory is consumed.
+    /// The canonical stand-in wherever a gather path runs cache-less.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
     /// Fills the cache from `ranking` until `budget_bytes` is exhausted.
+    /// Bookkeeping only (no row storage). Zero-byte rows fit everything
+    /// (see module docs).
     pub fn fill(
         ranking: &CacheRanking,
         num_vertices: usize,
         row_bytes: u64,
         budget_bytes: u64,
     ) -> Self {
-        let capacity = budget_bytes.checked_div(row_bytes).unwrap_or(0) as usize;
-        let mut cached = vec![false; num_vertices];
+        let capacity = match row_bytes {
+            0 => usize::MAX,
+            r => (budget_bytes / r) as usize,
+        };
+        let mut slot = vec![NOT_CACHED; num_vertices];
         let mut num_cached = 0;
         for &v in ranking.top(capacity) {
-            if !cached[v as usize] {
-                cached[v as usize] = true;
+            if slot[v as usize] == NOT_CACHED {
+                slot[v as usize] = num_cached as u32;
                 num_cached += 1;
             }
         }
         Self {
-            cached,
+            slot,
             num_cached,
             row_bytes,
+            rows: Vec::new(),
+            dim: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Builds a *materialised* cache for exactly `vertices` (e.g. a
+    /// [`crate::HybridPlan`]'s `gpu_cache` list), copying each vertex's row
+    /// out of the host feature matrix (`host_features` is row-major,
+    /// `dim` floats per vertex). The copies stand in for GPU memory: once
+    /// built, hits are served from here and the host matrix is not read.
+    pub fn for_vertices(
+        vertices: &[VertexId],
+        num_vertices: usize,
+        host_features: &[f32],
+        dim: usize,
+    ) -> Self {
+        assert_eq!(
+            host_features.len(),
+            num_vertices * dim,
+            "host feature matrix shape mismatch"
+        );
+        let mut slot = vec![NOT_CACHED; num_vertices];
+        let mut rows = Vec::with_capacity(vertices.len() * dim);
+        let mut num_cached = 0;
+        for &v in vertices {
+            let s = v as usize;
+            if slot[s] == NOT_CACHED {
+                slot[s] = num_cached as u32;
+                rows.extend_from_slice(&host_features[s * dim..(s + 1) * dim]);
+                num_cached += 1;
+            }
+        }
+        Self {
+            slot,
+            num_cached,
+            row_bytes: (dim * std::mem::size_of::<f32>()) as u64,
+            rows,
+            dim,
             hits: 0,
             misses: 0,
         }
@@ -53,10 +120,10 @@ impl FeatureCache {
 
     /// Cached fraction of all vertices (the paper's "cache ratio").
     pub fn cache_ratio(&self) -> f64 {
-        if self.cached.is_empty() {
+        if self.slot.is_empty() {
             0.0
         } else {
-            self.num_cached as f64 / self.cached.len() as f64
+            self.num_cached as f64 / self.slot.len() as f64
         }
     }
 
@@ -65,9 +132,26 @@ impl FeatureCache {
         self.num_cached as u64 * self.row_bytes
     }
 
+    /// Side-effect-free membership probe — the gather stage's fast path,
+    /// safe to share (`Arc`) across worker threads within an epoch.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.slot.get(v as usize).is_some_and(|&s| s != NOT_CACHED)
+    }
+
+    /// The device-resident feature row of `v`. Panics if `v` is not cached
+    /// or the cache was built without row storage ([`FeatureCache::fill`]).
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[f32] {
+        let s = self.slot[v as usize];
+        assert!(s != NOT_CACHED, "vertex {v} is not cached");
+        let at = s as usize * self.dim;
+        &self.rows[at..at + self.dim]
+    }
+
     /// Records an access; returns true on hit.
     pub fn access(&mut self, v: VertexId) -> bool {
-        if self.cached[v as usize] {
+        if self.contains(v) {
             self.hits += 1;
             true
         } else {
@@ -112,9 +196,7 @@ mod tests {
     fn ranking() -> CacheRanking {
         // hotness: v1 > v2 > v0 > v3
         let h = HotnessRanking::from_counts(vec![2, 9, 5, 0]);
-        // Leak-free: build via policy to keep types simple.
-        let r = PreSamplePolicy::new(&h).rank();
-        r
+        PreSamplePolicy::new(&h).rank()
     }
 
     #[test]
@@ -152,5 +234,55 @@ mod tests {
         let cache = FeatureCache::fill(&r, 4, 100, 10_000);
         assert_eq!(cache.len(), 4);
         assert!((cache.cache_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_rows_fit_everything_even_with_zero_budget() {
+        // The shared zero-row-size rule (module docs): rows that cost
+        // nothing always fit, under any budget. HybridPolicy::plan applies
+        // the identical rule to its net per-vertex cost.
+        let r = ranking();
+        let cache = FeatureCache::fill(&r, 4, 0, 0);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn empty_cache_misses_every_probe_without_allocation() {
+        let cache = FeatureCache::empty();
+        assert!(cache.is_empty());
+        assert_eq!(cache.cache_ratio(), 0.0);
+        assert!(!cache.contains(0));
+        assert!(!cache.contains(1_000_000));
+    }
+
+    #[test]
+    fn materialised_cache_serves_host_rows_verbatim() {
+        // 4 vertices, dim 2: row of v is [10v, 10v+1].
+        let host: Vec<f32> = (0..4)
+            .flat_map(|v| [10.0 * v as f32, 10.0 * v as f32 + 1.0])
+            .collect();
+        let cache = FeatureCache::for_vertices(&[3, 1], 4, &host, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 2 * 2 * 4);
+        assert!(cache.contains(1) && cache.contains(3));
+        assert!(!cache.contains(0) && !cache.contains(2));
+        assert_eq!(cache.row(3), &[30.0, 31.0]);
+        assert_eq!(cache.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn duplicate_plan_vertices_occupy_one_slot() {
+        let host = vec![0.0f32; 8];
+        let cache = FeatureCache::for_vertices(&[2, 2, 2], 4, &host, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not cached")]
+    fn row_of_uncached_vertex_panics() {
+        let host = vec![0.0f32; 4];
+        let cache = FeatureCache::for_vertices(&[0], 2, &host, 2);
+        let _ = cache.row(1);
     }
 }

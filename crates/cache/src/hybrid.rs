@@ -52,14 +52,26 @@ impl HybridPolicy {
     ///   (idle time > 0) **and** memory remains;
     /// - stop when memory is exhausted or idle time reaches zero.
     pub fn plan(&self, hot: &HotSet, gpu_idle_fraction: f64, gpu_free_bytes: u64) -> HybridPlan {
-        assert!((0.0..=1.0).contains(&gpu_idle_fraction));
+        // The idle fraction comes from wall-clock measurements, so NaN and
+        // slightly-out-of-range values happen; clamp rather than panic
+        // (NaN maps to 0.0: no evidence of idleness, nothing moves).
+        let idle = if gpu_idle_fraction.is_nan() {
+            0.0
+        } else {
+            gpu_idle_fraction.clamp(0.0, 1.0)
+        };
         // Idleness decides the *target* share moved to the GPU: fully idle
         // GPU (waiting on the CPU) pulls the whole hot set into its cache;
         // zero idle keeps everything on the CPU.
-        let want_gpu = (hot.len() as f64 * gpu_idle_fraction).round() as usize;
+        let want_gpu = (hot.len() as f64 * idle).round() as usize;
         // Memory caps the move; every cached vertex also frees the staging
         // slot its embedding would have used, so charge the net difference.
-        let per_vertex = self.feature_row_bytes;
+        // Zero net cost (embeddings at least as large as features) follows
+        // the shared zero-row-size rule: costless rows always fit (see
+        // `feature_cache` module docs).
+        let per_vertex = self
+            .feature_row_bytes
+            .saturating_sub(self.embedding_row_bytes);
         let fit_gpu = gpu_free_bytes
             .checked_div(per_vertex)
             .map_or(usize::MAX, |n| n as usize);
@@ -133,10 +145,52 @@ mod tests {
     #[test]
     fn memory_caps_the_gpu_share() {
         let hot = hot_set(100, 0.2);
-        // Room for only 5 feature rows.
-        let plan = policy().plan(&hot, 1.0, 5 * 400);
+        // Each cached vertex costs its 400 B feature row but frees the
+        // 100 B embedding staging slot: net 300 B. Room for exactly 5.
+        let plan = policy().plan(&hot, 1.0, 5 * 300);
         assert_eq!(plan.gpu_cache.len(), 5);
         assert_eq!(plan.cpu_compute.len(), 15);
+    }
+
+    #[test]
+    fn memory_cap_uses_net_bytes_not_gross() {
+        let hot = hot_set(100, 0.2);
+        // 4 gross rows (4 * 400 B) hold 5 vertices once each freed 100 B
+        // staging slot is credited back.
+        let plan = policy().plan(&hot, 1.0, 4 * 400);
+        assert_eq!(plan.gpu_cache.len(), 5);
+    }
+
+    #[test]
+    fn zero_net_row_cost_fits_everything() {
+        // Embeddings as large as features: caching is memory-neutral, so
+        // any budget (even zero) admits the whole idle-driven target —
+        // the shared zero-row-size rule.
+        let hot = hot_set(100, 0.2);
+        let p = HybridPolicy {
+            feature_row_bytes: 128,
+            embedding_row_bytes: 128,
+        };
+        let plan = p.plan(&hot, 1.0, 0);
+        assert_eq!(plan.gpu_cache.len(), 20);
+        assert!(plan.cpu_compute.is_empty());
+    }
+
+    #[test]
+    fn nan_and_out_of_range_idleness_are_clamped() {
+        let hot = hot_set(100, 0.2);
+        let p = policy();
+        // NaN (e.g. 0/0 from two zero timers) means "no evidence of
+        // idleness": nothing moves, and no panic.
+        let nan = p.plan(&hot, f64::NAN, u64::MAX);
+        assert!(nan.gpu_cache.is_empty());
+        let over = p.plan(&hot, 1.7, u64::MAX);
+        assert_eq!(over.gpu_cache.len(), 20);
+        let under = p.plan(&hot, -0.3, u64::MAX);
+        assert!(under.gpu_cache.is_empty());
+        // The same safety holds through the occupancy wrapper.
+        let nan_occ = p.plan_from_occupancy(&hot, f64::NAN, u64::MAX);
+        assert!(nan_occ.gpu_cache.is_empty());
     }
 
     #[test]

@@ -41,10 +41,11 @@
 //!   parameter snapshot, so the loss trajectory is bit-identical to the
 //!   sequential trainer at every thread count and every split.
 
+use crate::gather::{GatheredFeatures, StagedBatch};
 use crate::pipeline::{PipelineConfig, PipelineReport};
 use crate::refresh::{CpuPart, RefreshBackend, RefreshOutput, RefreshTask};
-use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation, PreparedBatch};
-use neutron_cache::HybridPolicy;
+use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation};
+use neutron_cache::{FeatureCache, HybridPolicy};
 use neutron_graph::VertexId;
 use neutron_sample::SamplerScratch;
 use std::collections::{BTreeMap, VecDeque};
@@ -160,8 +161,9 @@ impl<F: FnMut()> Drop for Defer<F> {
 /// The transfer stage for one batch: account host→device bytes and, when a
 /// simulated link is configured, stall for the PCIe time. Shared by the
 /// engine's transfer worker and the sequential baseline so their per-batch
-/// costing can never drift apart.
-pub(crate) fn transfer_stage(cfg: &PipelineConfig, batch: &PreparedBatch, h2d_bytes: &AtomicU64) {
+/// costing can never drift apart. Charges only the batch's *miss* bytes —
+/// cache-resident features never cross the link.
+pub(crate) fn transfer_stage(cfg: &PipelineConfig, batch: &StagedBatch, h2d_bytes: &AtomicU64) {
     let bytes = batch.h2d_bytes();
     h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
     if cfg.h2d_gibps > 0.0 {
@@ -185,6 +187,12 @@ struct EpochJob {
     batches: Arc<Vec<Vec<VertexId>>>,
     /// Shared claim counter: samplers `fetch_add` to pick the next batch.
     next: Arc<AtomicUsize>,
+    /// The GPU feature cache in effect for this epoch. Published with the
+    /// job (not read from shared engine state) so every worker probes the
+    /// exact same snapshot: rebuilds between epochs can never race a
+    /// straggling gather, because an epoch's channels fully drain before
+    /// the next generation opens.
+    cache: Arc<FeatureCache>,
 }
 
 /// The barrier persistent workers park on between epochs. The train thread
@@ -249,8 +257,8 @@ impl EpochGate {
 /// tracking starvation time and the reorder window. Bounded by count (not
 /// channel close) because the channels outlive the epoch.
 struct EpochReorder<'a> {
-    source: &'a Bounded<PreparedBatch>,
-    pending: BTreeMap<usize, PreparedBatch>,
+    source: &'a Bounded<StagedBatch>,
+    pending: BTreeMap<usize, StagedBatch>,
     next_index: usize,
     remaining: usize,
     wait: Duration,
@@ -258,7 +266,7 @@ struct EpochReorder<'a> {
 }
 
 impl<'a> EpochReorder<'a> {
-    fn new(source: &'a Bounded<PreparedBatch>, total: usize) -> Self {
+    fn new(source: &'a Bounded<StagedBatch>, total: usize) -> Self {
         Self {
             source,
             pending: BTreeMap::new(),
@@ -271,9 +279,9 @@ impl<'a> EpochReorder<'a> {
 }
 
 impl Iterator for EpochReorder<'_> {
-    type Item = PreparedBatch;
+    type Item = StagedBatch;
 
-    fn next(&mut self) -> Option<PreparedBatch> {
+    fn next(&mut self) -> Option<StagedBatch> {
         if self.remaining == 0 {
             return None;
         }
@@ -350,6 +358,18 @@ pub struct EngineConfig {
     pub adaptive_split: bool,
     /// Device memory the hybrid planner may spend on cached hot features.
     pub gpu_free_bytes: u64,
+    /// EWMA weight of the newest occupancy measurement in the adaptive
+    /// feedback signal: `s ← α·measured + (1−α)·s_prev`. `1.0` disables
+    /// smoothing (raw per-epoch occupancy, the pre-v2 behaviour); smaller
+    /// values damp per-epoch timer noise before it reaches the planner.
+    pub occupancy_ewma_alpha: f64,
+    /// Dead band of the split controller: a newly planned CPU fraction only
+    /// replaces the installed one — and rebuilds the GPU feature cache —
+    /// when it differs from it by more than this. Suppresses the ±0.1
+    /// plan churn visible in `BENCH_engine.json` trajectories. The first
+    /// plan of a session always installs (there is nothing to churn yet, and
+    /// the cache must get populated).
+    pub split_hysteresis: f64,
 }
 
 impl Default for EngineConfig {
@@ -358,6 +378,8 @@ impl Default for EngineConfig {
             pipeline: PipelineConfig::default(),
             adaptive_split: true,
             gpu_free_bytes: 64 << 20,
+            occupancy_ewma_alpha: 0.4,
+            split_hysteresis: 0.05,
         }
     }
 }
@@ -385,6 +407,14 @@ pub struct EpochRun {
     /// kept out of `report.epoch_seconds` so throughput numbers measure
     /// training only.
     pub eval_seconds: f64,
+    /// Vertices resident in the GPU feature cache *during* this epoch (the
+    /// snapshot the gather workers probed; rebuilds planned at the end of
+    /// the epoch take effect in the next one).
+    pub cache_vertices: usize,
+    /// EWMA-smoothed train occupancy after folding in this epoch's
+    /// measurement — the signal the planner actually sees. Equals the raw
+    /// measurement when the adaptive split is off.
+    pub smoothed_occupancy: f64,
 }
 
 /// What a whole session produced.
@@ -407,6 +437,12 @@ impl SessionReport {
     /// The adaptive split's trajectory: CPU refresh share per epoch.
     pub fn cpu_fraction_trajectory(&self) -> Vec<f64> {
         self.epochs.iter().map(|e| e.refresh_cpu_fraction).collect()
+    }
+
+    /// Host→device bytes shipped per epoch — the trajectory that drops as
+    /// the planner shifts hot vertices into the GPU feature cache.
+    pub fn h2d_bytes_trajectory(&self) -> Vec<u64> {
+        self.epochs.iter().map(|e| e.report.h2d_bytes).collect()
     }
 
     /// Summed wall-clock of all epochs.
@@ -460,10 +496,10 @@ impl TrainingEngine {
         };
 
         let gate = EpochGate::new();
-        let sampled: Bounded<(usize, Vec<neutron_sample::Block>)> =
+        let sampled: Bounded<(usize, Vec<neutron_sample::Block>, Arc<FeatureCache>)> =
             Bounded::new(pcfg.channel_depth);
-        let prepared: Bounded<PreparedBatch> = Bounded::new(pcfg.channel_depth);
-        let ready: Bounded<PreparedBatch> = Bounded::new(pcfg.channel_depth);
+        let prepared: Bounded<StagedBatch> = Bounded::new(pcfg.channel_depth);
+        let ready: Bounded<StagedBatch> = Bounded::new(pcfg.channel_depth);
         let tasks: Bounded<RefreshTask> = Bounded::new(1);
         let outputs: Bounded<RefreshOutput> = Bounded::new(1);
         let live_samplers = AtomicUsize::new(pcfg.sampler_threads);
@@ -518,7 +554,7 @@ impl TrainingEngine {
                                 &mut scratch,
                             );
                             sample_busy.add(t0);
-                            if !sampled.send((i, blocks)) {
+                            if !sampled.send((i, blocks, Arc::clone(&job.cache))) {
                                 return;
                             }
                         }
@@ -532,12 +568,13 @@ impl TrainingEngine {
                             prepared.close();
                         }
                     });
-                    while let Some((index, blocks)) = sampled.recv() {
+                    while let Some((index, blocks, cache)) = sampled.recv() {
                         let t0 = Instant::now();
-                        let features =
-                            ConvergenceTrainer::gather_features(&dataset, blocks[0].src());
+                        // Cache-keyed gather: probe the epoch's cache
+                        // snapshot and host-gather only the misses.
+                        let features = GatheredFeatures::gather(&dataset, &blocks[0], &cache);
                         gather_busy.add(t0);
-                        if !prepared.send(PreparedBatch {
+                        if !prepared.send(StagedBatch {
                             index,
                             blocks,
                             features,
@@ -577,6 +614,14 @@ impl TrainingEngine {
                 outputs: &outputs,
                 wait: Duration::ZERO,
             };
+            // Adaptive-split v2 controller state: the GPU feature cache in
+            // effect (empty until the first plan installs), the EWMA of the
+            // measured occupancy, and whether any plan has installed yet
+            // (the first one always does; hysteresis only damps changes
+            // *between* plans).
+            let mut epoch_cache: Arc<FeatureCache> = Arc::new(FeatureCache::empty());
+            let mut smoothed_occupancy: Option<f64> = None;
+            let mut split_installed = false;
             for e in 0..num_epochs {
                 let epoch = first_epoch + e;
                 let batches = Arc::new(trainer.epoch_batches(epoch));
@@ -597,11 +642,25 @@ impl TrainingEngine {
                     epoch,
                     batches,
                     next: Arc::new(AtomicUsize::new(0)),
+                    cache: Arc::clone(&epoch_cache),
                 });
                 // Train stage on the calling thread: in-order, owns the
                 // model; super-batch refreshes flow through the worker.
+                // Device-side feature assembly (cache rows + shipped miss
+                // rows) happens here, after the transfer stage — hits never
+                // cross the simulated link.
                 let mut reorder = EpochReorder::new(&ready, total);
-                let stats = trainer.train_batches_with(&mut reorder, &mut backend);
+                let mut cache_hits = 0u64;
+                let mut cache_misses = 0u64;
+                let stats = {
+                    let assembly_cache = Arc::clone(&epoch_cache);
+                    let feed = (&mut reorder).map(|staged| {
+                        cache_hits += staged.features.num_hits() as u64;
+                        cache_misses += staged.features.num_misses() as u64;
+                        staged.into_prepared(&assembly_cache)
+                    });
+                    trainer.train_batches_with(feed, &mut backend)
+                };
                 let epoch_seconds = wall.elapsed().as_secs_f64();
                 // Leftover-batch guard: train_batches_with consumes every
                 // batch today, but the channels persist across epochs and
@@ -629,18 +688,50 @@ impl TrainingEngine {
                     train_wait_seconds: train_wait,
                     h2d_bytes: h2d_bytes.load(Ordering::Relaxed) - before.4,
                     reorder_peak: reorder.peak,
+                    cache_hits,
+                    cache_misses,
                 };
-                // §4.1.3 feedback: plan the next epoch's split from this
-                // epoch's measured occupancy. Placement only — the refresh
-                // rows are split-invariant.
+                // §4.1.3/§4.3 feedback, v2: smooth the measured occupancy
+                // with an EWMA, plan from the smoothed signal, and only
+                // install (and rebuild the feature cache) when the planned
+                // split leaves the hysteresis band around the installed one
+                // — timer noise must not churn the cache. Placement and
+                // caching only: the refresh rows and the assembled feature
+                // matrices are split-invariant, so results never change.
+                let cache_vertices = epoch_cache.len();
+                let measured = report.train_occupancy();
+                let mut smoothed_this = measured;
                 if self.config.adaptive_split {
                     if let Some(hot) = trainer.hot_set() {
+                        let alpha = self.config.occupancy_ewma_alpha;
+                        smoothed_this = match smoothed_occupancy {
+                            None => measured,
+                            Some(prev) => alpha * measured + (1.0 - alpha) * prev,
+                        };
+                        smoothed_occupancy = Some(smoothed_this);
                         let plan = policy.plan_from_occupancy(
                             hot,
-                            report.train_occupancy(),
+                            smoothed_this,
                             self.config.gpu_free_bytes,
                         );
-                        trainer.set_refresh_cpu_fraction(plan.cpu_fraction());
+                        let planned = plan.cpu_fraction();
+                        let installed = trainer.refresh_cpu_fraction();
+                        if !split_installed
+                            || (planned - installed).abs() > self.config.split_hysteresis
+                        {
+                            split_installed = true;
+                            trainer.set_refresh_cpu_fraction(planned);
+                            epoch_cache = Arc::new(if plan.gpu_cache.is_empty() {
+                                FeatureCache::empty()
+                            } else {
+                                FeatureCache::for_vertices(
+                                    &plan.gpu_cache,
+                                    dataset.csr.num_vertices(),
+                                    dataset.features().as_slice(),
+                                    dataset.spec.feature_dim,
+                                )
+                            });
+                        }
                     }
                 }
                 runs.push(EpochRun {
@@ -650,6 +741,8 @@ impl TrainingEngine {
                     refresh_cpu_fraction,
                     refresh_seconds: refresh_busy.seconds() - before.3,
                     eval_seconds,
+                    cache_vertices,
+                    smoothed_occupancy: smoothed_this,
                 });
             }
             // Resolve any refresh still on the worker so the trainer can
@@ -708,12 +801,12 @@ mod tests {
 
     #[test]
     fn epoch_reorder_restores_order_and_stops_at_count() {
-        let ch: Bounded<PreparedBatch> = Bounded::new(8);
+        let ch: Bounded<StagedBatch> = Bounded::new(8);
         for index in [2usize, 0, 1, 3] {
-            ch.send(PreparedBatch {
+            ch.send(StagedBatch {
                 index,
                 blocks: Vec::new(),
-                features: Matrix::zeros(1, 1),
+                features: GatheredFeatures::dense(Matrix::zeros(1, 1)),
             });
         }
         // Note: not closed — the channel outlives epochs in a session.
@@ -742,6 +835,7 @@ mod tests {
                 epoch,
                 batches: Arc::new(Vec::new()),
                 next: Arc::new(AtomicUsize::new(0)),
+                cache: Arc::new(FeatureCache::empty()),
             });
             // Wait until the worker consumed this generation before the next.
             while seen.lock().unwrap().len() < generation as usize {

@@ -1,0 +1,236 @@
+//! The cache-keyed gather stage: partitioning each batch's deduped source
+//! vertices into GPU-cache hits and host misses, so the hybrid planner's
+//! decisions (§4.1.3) actually change measured transfer volume (Fig 6c,
+//! Fig 13) instead of only moving refresh compute between devices.
+//!
+//! The flow per batch:
+//!
+//! ```text
+//! blocks[0].src() --probe cache--> hits   (rows already device-resident)
+//!                                  misses (host gather -> H2D transfer)
+//! transfer charges *miss* bytes only; after the transfer the train stage
+//! assembles the full feature matrix device-side from both halves.
+//! ```
+//!
+//! Bit-identity: assembly reproduces, float for float, the matrix a full
+//! host gather would have produced (cache rows are verbatim copies of the
+//! host rows), so training results are independent of the cache budget —
+//! only the byte accounting changes.
+
+use crate::trainer::PreparedBatch;
+use neutron_cache::FeatureCache;
+use neutron_graph::{Dataset, VertexId};
+use neutron_sample::Block;
+use neutron_tensor::Matrix;
+
+/// One batch's gathered features, split by cache residency. `miss` holds
+/// the host-gathered rows (the only feature bytes the transfer stage must
+/// ship); `hit_pos`/`miss_pos` are local positions into the batch's source
+/// list, together covering every source vertex exactly once.
+pub struct GatheredFeatures {
+    miss: Matrix,
+    miss_pos: Vec<u32>,
+    hit_pos: Vec<u32>,
+}
+
+impl GatheredFeatures {
+    /// Probes `cache` for every source vertex of `bottom` (already deduped
+    /// at sampling time — no second dedup pass) and host-gathers only the
+    /// misses.
+    pub fn gather(dataset: &Dataset, bottom: &Block, cache: &FeatureCache) -> Self {
+        Self::gather_from(dataset.features(), bottom, cache)
+    }
+
+    /// [`Self::gather`] against an explicit host feature matrix.
+    pub fn gather_from(features: &Matrix, bottom: &Block, cache: &FeatureCache) -> Self {
+        let (hit_pos, miss_pos) = bottom.partition_src(|v| cache.contains(v));
+        let src = bottom.src();
+        let idx: Vec<usize> = miss_pos.iter().map(|&p| src[p as usize] as usize).collect();
+        let miss = features.gather_rows(&idx);
+        Self {
+            miss,
+            miss_pos,
+            hit_pos,
+        }
+    }
+
+    /// Wraps an already-complete host gather: every row is a miss, in
+    /// source order — the representation any cache-less path produces.
+    pub fn dense(miss: Matrix) -> Self {
+        let miss_pos = (0..miss.rows() as u32).collect();
+        Self {
+            miss,
+            miss_pos,
+            hit_pos: Vec::new(),
+        }
+    }
+
+    /// Source vertices served from the GPU-resident cache.
+    pub fn num_hits(&self) -> usize {
+        self.hit_pos.len()
+    }
+
+    /// Source vertices gathered on the host (and transferred).
+    pub fn num_misses(&self) -> usize {
+        self.miss_pos.len()
+    }
+
+    /// Feature bytes the transfer stage must ship: the miss rows only.
+    pub fn h2d_feature_bytes(&self) -> u64 {
+        (self.miss.rows() * self.miss.cols() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Device-side assembly after the transfer: interleaves the shipped
+    /// miss rows with the cache-resident hit rows back into source order,
+    /// bit-identical to a full host gather of `src`.
+    pub fn assemble(self, src: &[VertexId], cache: &FeatureCache) -> Matrix {
+        if self.hit_pos.is_empty() {
+            // All-miss fast path (empty cache): the miss matrix already is
+            // the full gather, in source order.
+            debug_assert_eq!(self.miss_pos.len(), src.len());
+            return self.miss;
+        }
+        let dim = self.miss.cols();
+        let mut out = Matrix::zeros(src.len(), dim);
+        for (r, &p) in self.miss_pos.iter().enumerate() {
+            out.copy_row_from(p as usize, self.miss.row(r));
+        }
+        for &p in &self.hit_pos {
+            out.copy_row_from(p as usize, cache.row(src[p as usize]));
+        }
+        out
+    }
+}
+
+/// A batch between the gather and train stages: sampled blocks plus the
+/// split gather. This is what flows through the engine's channels — the
+/// dense feature matrix only exists after [`StagedBatch::into_prepared`]
+/// runs device-side, so cache hits never touch a channel or the simulated
+/// PCIe link.
+pub struct StagedBatch {
+    /// Position of this batch within its epoch (train order).
+    pub index: usize,
+    /// Bottom-first sampled block stack.
+    pub blocks: Vec<Block>,
+    /// The split gather of `blocks[0].src()`.
+    pub features: GatheredFeatures,
+}
+
+impl StagedBatch {
+    /// Samples-free construction: gathers `blocks[0]`'s features against
+    /// `cache` and stages the batch.
+    pub fn stage(
+        dataset: &Dataset,
+        index: usize,
+        blocks: Vec<Block>,
+        cache: &FeatureCache,
+    ) -> Self {
+        let features = GatheredFeatures::gather(dataset, &blocks[0], cache);
+        Self {
+            index,
+            blocks,
+            features,
+        }
+    }
+
+    /// Bytes this batch ships to the training device: host-gathered (miss)
+    /// feature rows plus the sampled block structure (~8 bytes per edge).
+    /// Cache hits cost nothing — that is the point.
+    pub fn h2d_bytes(&self) -> u64 {
+        let structure: u64 = self.blocks.iter().map(|b| b.num_edges() as u64 * 8).sum();
+        self.features.h2d_feature_bytes() + structure
+    }
+
+    /// Device-side assembly into the dense [`PreparedBatch`] the trainer
+    /// consumes.
+    pub fn into_prepared(self, cache: &FeatureCache) -> PreparedBatch {
+        let src = self.blocks[0].src();
+        let features = self.features.assemble(src, cache);
+        PreparedBatch {
+            index: self.index,
+            blocks: self.blocks,
+            features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(n: usize, dim: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, dim);
+        for v in 0..n {
+            let row: Vec<f32> = (0..dim).map(|c| (v * 31 + c) as f32).collect();
+            m.copy_row_from(v, &row);
+        }
+        m
+    }
+
+    fn block(src: Vec<VertexId>) -> Block {
+        let offsets = vec![0u32; src.len() + 1];
+        Block::new(src.clone(), src, offsets, Vec::new())
+    }
+
+    #[test]
+    fn empty_cache_reproduces_the_full_gather_with_full_bytes() {
+        let host = features(10, 3);
+        let b = block(vec![7, 2, 9]);
+        let cache = FeatureCache::empty();
+        let gf = GatheredFeatures::gather_from(&host, &b, &cache);
+        assert_eq!(gf.num_hits(), 0);
+        assert_eq!(gf.num_misses(), 3);
+        assert_eq!(gf.h2d_feature_bytes(), 3 * 3 * 4);
+        let full = host.gather_rows(&[7, 2, 9]);
+        let assembled = gf.assemble(b.src(), &cache);
+        assert_eq!(assembled.as_slice(), full.as_slice());
+    }
+
+    #[test]
+    fn cache_hits_cut_bytes_but_not_the_assembled_matrix() {
+        let host = features(10, 3);
+        let b = block(vec![7, 2, 9, 4]);
+        let cache = FeatureCache::for_vertices(&[2, 4, 5], 10, host.as_slice(), 3);
+        let gf = GatheredFeatures::gather_from(&host, &b, &cache);
+        assert_eq!(gf.num_hits(), 2); // 2 and 4
+        assert_eq!(gf.num_misses(), 2); // 7 and 9
+        assert_eq!(gf.h2d_feature_bytes(), 2 * 3 * 4);
+        let full = host.gather_rows(&[7, 2, 9, 4]);
+        let assembled = gf.assemble(b.src(), &cache);
+        assert_eq!(assembled.as_slice(), full.as_slice());
+    }
+
+    #[test]
+    fn fully_cached_batch_ships_zero_feature_bytes() {
+        let host = features(6, 2);
+        let b = block(vec![1, 3, 5]);
+        let cache = FeatureCache::for_vertices(&[0, 1, 2, 3, 4, 5], 6, host.as_slice(), 2);
+        let gf = GatheredFeatures::gather_from(&host, &b, &cache);
+        assert_eq!(gf.num_misses(), 0);
+        assert_eq!(gf.h2d_feature_bytes(), 0);
+        let full = host.gather_rows(&[1, 3, 5]);
+        assert_eq!(gf.assemble(b.src(), &cache).as_slice(), full.as_slice());
+    }
+
+    #[test]
+    fn staged_batch_charges_structure_bytes_on_top_of_misses() {
+        let host = features(8, 2);
+        // One real edge: dst 1 aggregates from src position 1 (vertex 6).
+        let b = Block::new(vec![1], vec![1, 6], vec![0, 1], vec![1]);
+        let cache = FeatureCache::for_vertices(&[6], 8, host.as_slice(), 2);
+        let features = GatheredFeatures::gather_from(&host, &b, &cache);
+        let staged = StagedBatch {
+            index: 0,
+            blocks: vec![b],
+            features,
+        };
+        // miss = vertex 1 only (6 is cached): 1 row * 2 dims * 4 B + 8 B edge.
+        assert_eq!(staged.h2d_bytes(), 8 + 8);
+        let prepared = staged.into_prepared(&cache);
+        assert_eq!(
+            prepared.features.as_slice(),
+            host.gather_rows(&[1, 6]).as_slice()
+        );
+        assert_eq!(prepared.index, 0);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod baselines;
 pub mod engine;
+pub mod gather;
 pub mod neutronorch;
 pub mod orchestrator;
 pub mod pipeline;
@@ -36,6 +37,7 @@ pub mod sim;
 pub mod trainer;
 
 pub use engine::{EngineConfig, EpochRun, SessionReport, TrainingEngine};
+pub use gather::{GatheredFeatures, StagedBatch};
 pub use neutronorch::{NeutronOrch, NeutronOrchConfig};
 pub use orchestrator::Orchestrator;
 pub use pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};

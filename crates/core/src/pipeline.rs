@@ -23,7 +23,9 @@
 //! by the bounded [`neutron_cache::EmbeddingStore`].
 
 use crate::engine::{transfer_stage, BusyNs, EngineConfig, TrainingEngine};
-use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation, PreparedBatch};
+use crate::gather::{GatheredFeatures, StagedBatch};
+use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation};
+use neutron_cache::FeatureCache;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -78,10 +80,18 @@ pub struct PipelineReport {
     pub train_seconds: f64,
     /// Seconds the train stage spent starved, waiting on upstream.
     pub train_wait_seconds: f64,
-    /// Host→device bytes the epoch shipped.
+    /// Host→device bytes the epoch shipped — miss features plus block
+    /// structure; cache-resident features never cross the link.
     pub h2d_bytes: u64,
     /// Largest out-of-order reorder buffer the train stage needed.
     pub reorder_peak: usize,
+    /// Source vertices whose features were served from the GPU feature
+    /// cache this epoch (no host gather, no H2D bytes).
+    pub cache_hits: u64,
+    /// Source vertices host-gathered and transferred this epoch.
+    /// `cache_hits + cache_misses` is the epoch's total gathered vertex
+    /// count, invariant across cache budgets.
+    pub cache_misses: u64,
 }
 
 impl PipelineReport {
@@ -135,6 +145,7 @@ impl PipelineExecutor {
             pipeline: self.config.clone(),
             adaptive_split: false,
             gpu_free_bytes: 0,
+            ..EngineConfig::default()
         });
         // Time the whole one-epoch session minus test-set evaluation: this
         // compat path pays worker spawn/join *per epoch*, and that overhead
@@ -171,6 +182,12 @@ impl PipelineExecutor {
         let transfer_busy = BusyNs::default();
         let h2d_bytes = AtomicU64::new(0);
 
+        // The cache-less baseline runs the *same* cache-keyed gather,
+        // transfer costing and device-side assembly as the engine, against
+        // an empty cache (all-miss). One shared path means the accounting
+        // can never drift between executors.
+        let empty_cache = FeatureCache::empty();
+        let mut gathered_vertices = 0u64;
         let wall = Instant::now();
         let items = batches.iter().enumerate().map(|(i, batch)| {
             let t0 = Instant::now();
@@ -181,9 +198,10 @@ impl PipelineExecutor {
             );
             sample_busy.add(t0);
             let t1 = Instant::now();
-            let features = ConvergenceTrainer::gather_features(&dataset, blocks[0].src());
+            let features = GatheredFeatures::gather(&dataset, &blocks[0], &empty_cache);
             gather_busy.add(t1);
-            let item = PreparedBatch {
+            gathered_vertices += features.num_misses() as u64;
+            let item = StagedBatch {
                 index: i,
                 blocks,
                 features,
@@ -191,7 +209,7 @@ impl PipelineExecutor {
             let t2 = Instant::now();
             transfer_stage(&self.config, &item, &h2d_bytes);
             transfer_busy.add(t2);
-            item
+            item.into_prepared(&empty_cache)
         });
         let stats = trainer.train_batches(items);
 
@@ -209,6 +227,8 @@ impl PipelineExecutor {
             train_wait_seconds: staged,
             h2d_bytes: h2d_bytes.load(Ordering::Relaxed),
             reorder_peak: 0,
+            cache_hits: 0,
+            cache_misses: gathered_vertices,
         };
         (observation, report)
     }

@@ -114,16 +114,6 @@ pub struct PreparedBatch {
     pub features: Matrix,
 }
 
-impl PreparedBatch {
-    /// Bytes this batch ships to the training device: gathered features
-    /// plus the sampled block structure (~8 bytes per edge).
-    pub fn h2d_bytes(&self) -> u64 {
-        let feat = (self.features.rows() * self.features.cols() * 4) as u64;
-        let structure: u64 = self.blocks.iter().map(|b| b.num_edges() as u64 * 8).sum();
-        feat + structure
-    }
-}
-
 /// What one epoch's batch loop produced, before test-set evaluation —
 /// see [`ConvergenceTrainer::train_batches`].
 pub struct BatchLoopStats {

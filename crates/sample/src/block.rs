@@ -86,6 +86,24 @@ impl Block {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
+    /// Partitions the source list by `pred` into `(matching, rest)` local
+    /// position lists. `src` is already deduplicated at sampling time (one
+    /// local index per distinct vertex), so a cache probe can partition it
+    /// directly — no second dedup pass — and the two lists together cover
+    /// every source position exactly once, in ascending order.
+    pub fn partition_src<F: FnMut(VertexId) -> bool>(&self, mut pred: F) -> (Vec<u32>, Vec<u32>) {
+        let mut matching = Vec::new();
+        let mut rest = Vec::with_capacity(self.src.len());
+        for (i, &v) in self.src.iter().enumerate() {
+            if pred(v) {
+                matching.push(i as u32);
+            } else {
+                rest.push(i as u32);
+            }
+        }
+        (matching, rest)
+    }
+
     /// Checks internal invariants; used by property tests.
     pub fn validate(&self) -> Result<(), String> {
         if self.offsets.len() != self.dst.len() + 1 {
@@ -140,6 +158,17 @@ mod tests {
     #[should_panic(expected = "src must contain dst as prefix")]
     fn rejects_src_shorter_than_dst() {
         let _ = Block::new(vec![1, 2], vec![1], vec![0, 0, 0], vec![]);
+    }
+
+    #[test]
+    fn partition_src_covers_every_position_once() {
+        let b = sample_block();
+        let (hits, misses) = b.partition_src(|v| v % 20 == 10);
+        assert_eq!(hits, &[0, 2]); // src 10 and 30
+        assert_eq!(misses, &[1, 3]); // src 20 and 40
+        let (all, none) = b.partition_src(|_| true);
+        assert_eq!(all, &[0, 1, 2, 3]);
+        assert!(none.is_empty());
     }
 
     #[test]

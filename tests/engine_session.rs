@@ -29,6 +29,7 @@ fn engine(sampler_threads: usize, gather_threads: usize, adaptive: bool) -> Trai
         },
         adaptive_split: adaptive,
         gpu_free_bytes: 64 << 20,
+        ..EngineConfig::default()
     })
 }
 
@@ -118,6 +119,72 @@ fn refresh_split_never_changes_the_trajectory() {
     let all_gpu = run(0.0);
     assert_eq!(all_cpu, half, "cpu=1.0 vs cpu=0.5 diverged");
     assert_eq!(all_cpu, all_gpu, "cpu=1.0 vs cpu=0.0 diverged");
+}
+
+/// Bit-identity is independent of the GPU feature-cache budget: the cache
+/// only decides *where* a feature row is read from (verbatim copies), so
+/// any budget — zero, tiny, or effectively unlimited — yields the same
+/// trajectory while the byte accounting stays exact: hits + misses always
+/// equal the sequential baseline's gathered-vertex count, a nonzero budget
+/// never ships more bytes than the cache-less run, and a zero budget ships
+/// exactly the sequential baseline's bytes with zero hits.
+#[test]
+fn cache_budget_never_changes_the_trajectory() {
+    let policy = || ReusePolicy::HotnessAware {
+        hot_ratio: 0.3,
+        super_batch: 2,
+    };
+    let epochs = 4;
+    let seq_exec = PipelineExecutor::new(PipelineConfig::default());
+    let mut seq = trainer(policy());
+    let reference: Vec<_> = (0..epochs)
+        .map(|e| seq_exec.run_epoch_sequential(&mut seq, e))
+        .collect();
+    for budget in [0u64, 48 << 10, 64 << 20] {
+        let mut t = trainer(policy());
+        let engine = TrainingEngine::new(EngineConfig {
+            pipeline: PipelineConfig {
+                sampler_threads: 2,
+                gather_threads: 2,
+                channel_depth: 3,
+                h2d_gibps: 0.0,
+            },
+            adaptive_split: true,
+            gpu_free_bytes: budget,
+            ..EngineConfig::default()
+        });
+        let session = engine.run_session(&mut t, 0, epochs);
+        for (run, (want, seq_report)) in session.epochs.iter().zip(&reference) {
+            assert_eq!(
+                run.observation.train_loss, want.train_loss,
+                "epoch {} loss diverged at budget {budget}",
+                run.epoch
+            );
+            assert_eq!(
+                run.observation.test_accuracy, want.test_accuracy,
+                "epoch {} accuracy diverged at budget {budget}",
+                run.epoch
+            );
+            assert_eq!(
+                run.report.cache_hits + run.report.cache_misses,
+                seq_report.cache_misses,
+                "epoch {}: hits+misses must cover every gathered vertex",
+                run.epoch
+            );
+            assert!(
+                run.report.h2d_bytes <= seq_report.h2d_bytes,
+                "epoch {}: a cache may only remove bytes",
+                run.epoch
+            );
+            if budget == 0 {
+                assert_eq!(run.report.cache_hits, 0, "zero budget must never hit");
+                assert_eq!(
+                    run.report.h2d_bytes, seq_report.h2d_bytes,
+                    "zero budget must ship exactly the sequential bytes"
+                );
+            }
+        }
+    }
 }
 
 /// The persistent pool spawns its workers exactly once per session,

@@ -3,7 +3,9 @@
 
 use neutronorch::cache::policy::{CachePolicy, PreSamplePolicy};
 use neutronorch::cache::{EmbeddingStore, FeatureCache, HybridPolicy};
-use neutronorch::sample::HotnessRanking;
+use neutronorch::core::gather::{GatheredFeatures, StagedBatch};
+use neutronorch::sample::{Block, HotnessRanking};
+use neutronorch::tensor::Matrix;
 use proptest::prelude::*;
 
 proptest! {
@@ -103,7 +105,62 @@ proptest! {
             plan.gpu_bytes,
             plan.gpu_cache.len() as u64 * 16 + plan.cpu_compute.len() as u64 * 4
         );
-        // Memory cap honoured.
-        prop_assert!(plan.gpu_cache.len() as u64 * 16 <= free + 16);
+        // Memory cap honoured, in *net* bytes: each cached vertex costs its
+        // 16 B feature row minus the 4 B embedding staging slot it frees.
+        prop_assert!(plan.gpu_cache.len() as u64 * 12 <= free + 12);
+    }
+
+    /// The cache-keyed gather accounts for every vertex exactly: for any
+    /// cached subset and any batch, `hits + misses` equals the batch's
+    /// deduped source count, the charged feature bytes equal
+    /// `misses * feature_row_bytes` exactly, and device-side assembly is
+    /// bit-identical to a full host gather.
+    #[test]
+    fn cache_keyed_gather_accounts_every_vertex_exactly(
+        dim in 1usize..8,
+        cached_flags in proptest::collection::vec(any::<bool>(), 8..48),
+        batch_flags in proptest::collection::vec(any::<bool>(), 8..48),
+    ) {
+        let n = cached_flags.len().max(batch_flags.len());
+        let mut host = Matrix::zeros(n, dim);
+        for v in 0..n {
+            let row: Vec<f32> = (0..dim).map(|c| (v * 131 + c) as f32).collect();
+            host.copy_row_from(v, &row);
+        }
+        let cached: Vec<u32> = cached_flags
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &f)| f.then_some(v as u32))
+            .collect();
+        let cache = FeatureCache::for_vertices(&cached, n, host.as_slice(), dim);
+        // A batch whose deduped source set is any subset of the vertices
+        // (self-edges only — partitioning doesn't look at edges).
+        let src: Vec<u32> = batch_flags
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &f)| f.then_some(v as u32))
+            .collect();
+        let offsets = vec![0u32; src.len() + 1];
+        let block = Block::new(src.clone(), src.clone(), offsets, Vec::new());
+
+        let gf = GatheredFeatures::gather_from(&host, &block, &cache);
+        prop_assert_eq!(gf.num_hits() + gf.num_misses(), src.len());
+        prop_assert_eq!(
+            gf.num_hits(),
+            src.iter().filter(|&&v| cache.contains(v)).count()
+        );
+        let row_bytes = (dim * 4) as u64;
+        prop_assert_eq!(gf.h2d_feature_bytes(), gf.num_misses() as u64 * row_bytes);
+        let staged = StagedBatch {
+            index: 0,
+            blocks: vec![block],
+            features: gf,
+        };
+        // No sampled edges, so staged bytes are exactly the miss features.
+        let misses = staged.features.num_misses() as u64;
+        prop_assert_eq!(staged.h2d_bytes(), misses * row_bytes);
+        let full = host.gather_rows(&src.iter().map(|&v| v as usize).collect::<Vec<_>>());
+        let assembled = staged.into_prepared(&cache).features;
+        prop_assert_eq!(assembled.as_slice(), full.as_slice());
     }
 }
