@@ -6,7 +6,8 @@ use neutron_graph::generate::{rmat, RmatParams};
 use neutron_hetero::{Engine, TaskKind};
 use neutron_nn::layers::{Layer, LayerKind};
 use neutron_sample::{Fanout, NeighborSampler};
-use neutron_tensor::{init, ops};
+use neutron_tensor::kernels::reference;
+use neutron_tensor::{init, ops, Matrix};
 use std::hint::black_box;
 
 fn matmul(c: &mut Criterion) {
@@ -14,6 +15,130 @@ fn matmul(c: &mut Criterion) {
     let b = init::uniform(128, 64, -1.0, 1.0, 2);
     c.bench_function("tensor/matmul 512x128x64", |bench| {
         bench.iter(|| black_box(ops::matmul(&a, &b)));
+    });
+}
+
+/// Chunked-vs-scalar pairs at training shapes (512-row batch, 128-dim
+/// features, 64-dim hidden). Ids follow `kern/<kernel>/<variant>`; `xtask
+/// bench-diff` pairs them up and gates on the speedups.
+fn kernel_pairs(c: &mut Criterion) {
+    let batch = 512usize;
+    let feat = 128usize;
+    let hid = 64usize;
+    let a = init::uniform(batch, feat, -1.0, 1.0, 1);
+    let b = init::uniform(feat, hid, -1.0, 1.0, 2);
+    c.bench_function("kern/matmul/chunked", |bench| {
+        bench.iter(|| black_box(ops::matmul(&a, &b)));
+    });
+    c.bench_function("kern/matmul/scalar", |bench| {
+        bench.iter(|| {
+            black_box(reference::matmul(
+                a.as_slice(),
+                b.as_slice(),
+                batch,
+                feat,
+                hid,
+            ))
+        });
+    });
+
+    // ∇W shape: A: batch×feat (activations), B: batch×hid (deltas).
+    let dz = init::uniform(batch, hid, -1.0, 1.0, 3);
+    c.bench_function("kern/matmul_at_b/chunked", |bench| {
+        bench.iter(|| black_box(ops::matmul_at_b(&a, &dz)));
+    });
+    c.bench_function("kern/matmul_at_b/scalar", |bench| {
+        bench.iter(|| {
+            black_box(reference::matmul_at_b(
+                a.as_slice(),
+                dz.as_slice(),
+                batch,
+                feat,
+                hid,
+            ))
+        });
+    });
+
+    // ∇H shape: A: batch×hid (deltas), B: feat×hid (weights, transposed use).
+    let w = init::uniform(feat, hid, -1.0, 1.0, 4);
+    c.bench_function("kern/matmul_a_bt/chunked", |bench| {
+        bench.iter(|| black_box(ops::matmul_a_bt(&dz, &w)));
+    });
+    c.bench_function("kern/matmul_a_bt/scalar", |bench| {
+        bench.iter(|| {
+            black_box(reference::matmul_a_bt(
+                dz.as_slice(),
+                w.as_slice(),
+                batch,
+                hid,
+                feat,
+            ))
+        });
+    });
+
+    // Feature row gather: 4096 sampled vertices out of a 20k-vertex host
+    // matrix — the Gather (FC) shape of the scaled replica.
+    let host = init::uniform(20_000, feat, -1.0, 1.0, 5);
+    let idx: Vec<usize> = (0..4096).map(|i| (i * 4_877) % 20_000).collect();
+    c.bench_function("kern/gather/chunked", |bench| {
+        bench.iter(|| black_box(host.gather_rows(&idx)));
+    });
+    c.bench_function("kern/gather/scalar", |bench| {
+        bench.iter(|| black_box(reference::gather_rows(host.as_slice(), feat, &idx)));
+    });
+
+    // Backward aggregation scatter: 4096 gradient rows into 8192 src rows.
+    let grads = init::uniform(4096, hid, -1.0, 1.0, 6);
+    let dst: Vec<usize> = (0..4096).map(|i| (i * 3_203) % 8192).collect();
+    c.bench_function("kern/scatter_add/chunked", |bench| {
+        let mut out = Matrix::zeros(8192, hid);
+        bench.iter(|| {
+            out.scatter_add_rows(&dst, &grads);
+            black_box(out.get(0, 0))
+        });
+    });
+    c.bench_function("kern/scatter_add/scalar", |bench| {
+        let mut out = Matrix::zeros(8192, hid);
+        bench.iter(|| {
+            reference::scatter_add_rows(out.as_mut_slice(), hid, &dst, grads.as_slice());
+            black_box(out.get(0, 0))
+        });
+    });
+}
+
+/// The `a_val == 0.0` skip branch that used to guard `matmul` /
+/// `matmul_at_b`, measured against the branch-free kernel on ReLU-sparse
+/// input (~50% zeros) — its best case. The recorded numbers back the
+/// decision (documented in `neutron_tensor::kernels`) to remove the branch:
+/// it loses even here at GNN hidden widths.
+fn zero_skip_ablation(c: &mut Criterion) {
+    let batch = 512usize;
+    let feat = 128usize;
+    let hid = 64usize;
+    let mut a = init::uniform(batch, feat, -1.0, 1.0, 7);
+    for v in a.as_mut_slice() {
+        *v = v.max(0.0); // ReLU: ~half the entries become exact zeros.
+    }
+    let b = init::uniform(feat, hid, -1.0, 1.0, 8);
+    c.bench_function("skip/matmul_relu/noskip", |bench| {
+        bench.iter(|| black_box(ops::matmul(&a, &b)));
+    });
+    c.bench_function("skip/matmul_relu/skip", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; batch * hid];
+            let (ad, bd) = (a.as_slice(), b.as_slice());
+            for (i, out_row) in out.chunks_exact_mut(hid).enumerate() {
+                for (kk, &av) in ad[i * feat..(i + 1) * feat].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in out_row.iter_mut().zip(&bd[kk * hid..(kk + 1) * hid]) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            black_box(out)
+        });
     });
 }
 
@@ -64,5 +189,13 @@ fn gnn_layers(c: &mut Criterion) {
     }
 }
 
-criterion_group!(kernels, matmul, sampling, des_engine, gnn_layers);
+criterion_group!(
+    kernels,
+    matmul,
+    kernel_pairs,
+    zero_skip_ablation,
+    sampling,
+    des_engine,
+    gnn_layers
+);
 criterion_main!(kernels);

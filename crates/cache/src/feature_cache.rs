@@ -87,16 +87,21 @@ impl FeatureCache {
             "host feature matrix shape mismatch"
         );
         let mut slot = vec![NOT_CACHED; num_vertices];
-        let mut rows = Vec::with_capacity(vertices.len() * dim);
-        let mut num_cached = 0;
+        let mut unique: Vec<usize> = Vec::with_capacity(vertices.len());
         for &v in vertices {
             let s = v as usize;
             if slot[s] == NOT_CACHED {
-                slot[s] = num_cached as u32;
-                rows.extend_from_slice(&host_features[s * dim..(s + 1) * dim]);
-                num_cached += 1;
+                slot[s] = unique.len() as u32;
+                unique.push(s);
             }
         }
+        let num_cached = unique.len();
+        // Bulk row copy through the shared gather kernel (slot order ==
+        // unique order, so rows[slot[v]] is v's host row verbatim).
+        let t0 = neutron_tensor::timing::start();
+        let mut rows = Vec::new();
+        neutron_tensor::kernels::gather_rows_into(&mut rows, host_features, dim, &unique);
+        neutron_tensor::timing::stop(neutron_tensor::timing::Kernel::Gather, t0);
         Self {
             slot,
             num_cached,

@@ -370,6 +370,24 @@ pub struct EngineConfig {
     /// plan of a session always installs (there is nothing to churn yet, and
     /// the cache must get populated).
     pub split_hysteresis: f64,
+    /// Threads the refresh worker spreads each task's vertex list over
+    /// (via [`RefreshTask::run_sharded`] — partition-stable, so any value
+    /// is bit-identical). `0` means auto: one shard per available core.
+    /// `1` keeps the pre-sharding serial behaviour.
+    pub refresh_workers: usize,
+}
+
+impl EngineConfig {
+    /// Resolves [`Self::refresh_workers`]'s auto (`0`) setting.
+    pub fn effective_refresh_workers(&self) -> usize {
+        match self.refresh_workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            n => n,
+        }
+    }
 }
 
 impl Default for EngineConfig {
@@ -380,6 +398,7 @@ impl Default for EngineConfig {
             gpu_free_bytes: 64 << 20,
             occupancy_ewma_alpha: 0.4,
             split_hysteresis: 0.05,
+            refresh_workers: 0,
         }
     }
 }
@@ -597,10 +616,18 @@ impl TrainingEngine {
             });
             scope.spawn(|| {
                 let _liveness = Defer(|| outputs.close());
+                let shard_workers = self.config.effective_refresh_workers();
                 let mut scratch = SamplerScratch::new();
                 while let Some(task) = tasks.recv() {
                     let t0 = Instant::now();
-                    let out = task.run_with_scratch(&mut scratch);
+                    // Sharding is placement-only: run_sharded concatenates
+                    // partition-stable shards in order, so the rows are the
+                    // serial rows bit for bit at any worker count.
+                    let out = if shard_workers > 1 {
+                        task.run_sharded(shard_workers)
+                    } else {
+                        task.run_with_scratch(&mut scratch)
+                    };
                     refresh_busy.add(t0);
                     if !outputs.send(out) {
                         break;

@@ -83,6 +83,12 @@ impl GatheredFeatures {
     /// Device-side assembly after the transfer: interleaves the shipped
     /// miss rows with the cache-resident hit rows back into source order,
     /// bit-identical to a full host gather of `src`.
+    ///
+    /// `hit_pos` and `miss_pos` come from [`Block::partition_src`], so both
+    /// are sorted and together cover every position exactly once; a merge
+    /// walk appends each output row straight into reserved capacity, never
+    /// zero-filling a byte it is about to overwrite (the same measured win
+    /// as the chunked row-gather kernel).
     pub fn assemble(self, src: &[VertexId], cache: &FeatureCache) -> Matrix {
         if self.hit_pos.is_empty() {
             // All-miss fast path (empty cache): the miss matrix already is
@@ -90,14 +96,20 @@ impl GatheredFeatures {
             debug_assert_eq!(self.miss_pos.len(), src.len());
             return self.miss;
         }
+        let t0 = neutron_tensor::timing::start();
         let dim = self.miss.cols();
-        let mut out = Matrix::zeros(src.len(), dim);
-        for (r, &p) in self.miss_pos.iter().enumerate() {
-            out.copy_row_from(p as usize, self.miss.row(r));
+        let mut data = Vec::with_capacity(src.len() * dim);
+        let mut mi = 0;
+        for (p, &vertex) in src.iter().enumerate() {
+            if self.miss_pos.get(mi) == Some(&(p as u32)) {
+                data.extend_from_slice(self.miss.row(mi));
+                mi += 1;
+            } else {
+                data.extend_from_slice(cache.row(vertex));
+            }
         }
-        for &p in &self.hit_pos {
-            out.copy_row_from(p as usize, cache.row(src[p as usize]));
-        }
+        let out = Matrix::from_vec(src.len(), dim, data);
+        neutron_tensor::timing::stop(neutron_tensor::timing::Kernel::Gather, t0);
         out
     }
 }

@@ -113,12 +113,70 @@ impl RefreshTask {
     /// boundaries) amortise the dedup buffers instead of re-zeroing
     /// `O(|V|)` state per super-batch.
     pub fn run_with_scratch(&self, scratch: &mut SamplerScratch) -> RefreshOutput {
-        if self.vertices.is_empty() {
-            return RefreshOutput::empty(self.version);
+        RefreshOutput {
+            rows: self.run_partition(&self.vertices, scratch),
+            version: self.version,
+        }
+    }
+
+    /// [`Self::run`], sharded across up to `workers` scoped threads.
+    ///
+    /// Because the task is partition-stable (per-vertex sampling seeds, a
+    /// frozen parameter snapshot), running contiguous shards concurrently
+    /// and concatenating their rows in shard order reproduces the serial
+    /// output bit for bit — the same property
+    /// `split_partitions_reproduce_the_full_run_row_for_row` asserts for
+    /// the hybrid split. Shards below [`Self::MIN_SHARD_VERTICES`] aren't
+    /// worth a thread spawn; the effective worker count is capped so every
+    /// shard stays at least that large.
+    pub fn run_sharded(&self, workers: usize) -> RefreshOutput {
+        let workers = workers
+            .min(self.vertices.len() / Self::MIN_SHARD_VERTICES)
+            .max(1);
+        if workers <= 1 {
+            return self.run();
+        }
+        let chunk = self.vertices.len().div_ceil(workers);
+        let mut rows = Vec::with_capacity(self.vertices.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .vertices
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut scratch = SamplerScratch::new();
+                        self.run_partition(part, &mut scratch)
+                    })
+                })
+                .collect();
+            for h in handles {
+                rows.extend(h.join().expect("refresh shard panicked"));
+            }
+        });
+        RefreshOutput {
+            rows,
+            version: self.version,
+        }
+    }
+
+    /// Smallest vertex count worth its own refresh shard (thread spawn +
+    /// per-shard `SamplerScratch` are amortised over at least this much
+    /// sampling + forward work).
+    pub const MIN_SHARD_VERTICES: usize = 64;
+
+    /// The shared partition body: sampling, gather and bottom-layer forward
+    /// over an arbitrary slice of the task's vertex list.
+    fn run_partition(
+        &self,
+        vertices: &[VertexId],
+        scratch: &mut SamplerScratch,
+    ) -> Vec<(VertexId, Vec<f32>)> {
+        if vertices.is_empty() {
+            return Vec::new();
         }
         let block = self.sampler.sample_one_hop_stable_with_scratch(
             &self.dataset.csr,
-            &self.vertices,
+            vertices,
             self.fanout,
             self.seed,
             scratch,
@@ -127,15 +185,11 @@ impl RefreshTask {
         // drift between training and refresh.
         let feats = ConvergenceTrainer::gather_features(&self.dataset, block.src());
         let (out, _ctx) = self.bottom.forward(&block, &feats);
-        RefreshOutput {
-            rows: self
-                .vertices
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, out.row(i).to_vec()))
-                .collect(),
-            version: self.version,
-        }
+        vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, out.row(i).to_vec()))
+            .collect()
     }
 }
 
@@ -256,6 +310,24 @@ mod tests {
             for ((va, ra), (vb, rb)) in merged.iter().zip(&full.rows) {
                 assert_eq!(va, vb, "split at {k}");
                 assert_eq!(ra, rb, "split at {k}: rows diverged for vertex {va}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial_at_any_worker_count() {
+        let (ds, bottom, sampler) = fixture();
+        // 280 vertices: enough for up to 4 real shards at MIN_SHARD_VERTICES.
+        let verts: Vec<u32> = (0..280).collect();
+        let task = RefreshTask::new(ds, bottom, sampler, verts, 4, 11, 0xc0de);
+        let serial = task.run();
+        for workers in [0usize, 1, 2, 3, 4, 16] {
+            let sharded = task.run_sharded(workers);
+            assert_eq!(sharded.version, serial.version);
+            assert_eq!(sharded.rows.len(), serial.rows.len());
+            for ((va, ra), (vb, rb)) in sharded.rows.iter().zip(&serial.rows) {
+                assert_eq!(va, vb, "workers={workers}");
+                assert_eq!(ra, rb, "workers={workers}: row diverged for vertex {va}");
             }
         }
     }

@@ -13,7 +13,8 @@
 
 use crate::param::Param;
 use neutron_sample::Block;
-use neutron_tensor::{init, ops, Activation, Matrix};
+use neutron_tensor::timing::{self, Kernel};
+use neutron_tensor::{init, kernels, ops, Activation, Matrix};
 
 /// A GCN layer (`in_dim → out_dim`).
 #[derive(Clone, Debug)]
@@ -48,20 +49,22 @@ impl GcnLayer {
     /// Mean-aggregates block inputs into per-dst rows. Exposed for reuse by
     /// the CPU-side bottom-layer executor in `neutron-core`.
     pub fn aggregate(block: &Block, input: &Matrix) -> Matrix {
+        let t0 = timing::start();
         let mut agg = Matrix::zeros(block.num_dst(), input.cols());
+        let mut row: Vec<f32> = Vec::new();
         for i in 0..block.num_dst() {
             // Self contribution: dst i is src i by the prefix convention.
-            let mut row = input.row(i).to_vec();
+            row.clear();
+            row.extend_from_slice(input.row(i));
             for &li in block.neighbors_local(i) {
-                for (r, x) in row.iter_mut().zip(input.row(li as usize)) {
-                    *r += x;
-                }
+                kernels::add_assign_slice(&mut row, input.row(li as usize));
             }
             let norm = 1.0 / (block.sampled_degree(i) + 1) as f32;
             for (dst, v) in agg.row_mut(i).iter_mut().zip(&row) {
                 *dst = v * norm;
             }
         }
+        timing::stop(Kernel::Aggregate, t0);
         agg
     }
 
@@ -82,20 +85,18 @@ impl GcnLayer {
         ops::add_assign(&mut self.weight.grad, &ops::matmul_at_b(&ctx.agg, &dz));
         ops::add_assign(&mut self.bias.grad, &ops::sum_rows(&dz));
         let d_agg = ops::matmul_a_bt(&dz, &self.weight.value);
-        // Distribute aggregation gradient back to src rows.
+        // Distribute aggregation gradient back to src rows (scatter-add).
+        let t0 = timing::start();
         let mut d_in = Matrix::zeros(block.num_src(), self.in_dim());
         for i in 0..block.num_dst() {
             let norm = 1.0 / (block.sampled_degree(i) + 1) as f32;
-            let g = d_agg.row(i).to_vec();
-            for (dst, gv) in d_in.row_mut(i).iter_mut().zip(&g) {
-                *dst += gv * norm;
-            }
+            let g = d_agg.row(i);
+            kernels::axpy(d_in.row_mut(i), norm, g);
             for &li in block.neighbors_local(i) {
-                for (dst, gv) in d_in.row_mut(li as usize).iter_mut().zip(&g) {
-                    *dst += gv * norm;
-                }
+                kernels::axpy(d_in.row_mut(li as usize), norm, g);
             }
         }
+        timing::stop(Kernel::Aggregate, t0);
         d_in
     }
 

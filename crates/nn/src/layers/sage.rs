@@ -9,7 +9,8 @@
 
 use crate::param::Param;
 use neutron_sample::Block;
-use neutron_tensor::{init, ops, Activation, Matrix};
+use neutron_tensor::timing::{self, Kernel};
+use neutron_tensor::{init, kernels, ops, Activation, Matrix};
 
 /// A GraphSAGE-mean layer (`in_dim → out_dim`).
 #[derive(Clone, Debug)]
@@ -47,6 +48,7 @@ impl SageLayer {
 
     /// Neighbor-mean aggregation (self excluded).
     pub fn aggregate_neighbors(block: &Block, input: &Matrix) -> Matrix {
+        let t0 = timing::start();
         let mut agg = Matrix::zeros(block.num_dst(), input.cols());
         for i in 0..block.num_dst() {
             let deg = block.sampled_degree(i);
@@ -55,12 +57,10 @@ impl SageLayer {
             }
             let norm = 1.0 / deg as f32;
             for &li in block.neighbors_local(i) {
-                let row = input.row(li as usize);
-                for (a, x) in agg.row_mut(i).iter_mut().zip(row) {
-                    *a += x * norm;
-                }
+                kernels::axpy(agg.row_mut(i), norm, input.row(li as usize));
             }
         }
+        timing::stop(Kernel::Aggregate, t0);
         agg
     }
 
@@ -94,23 +94,21 @@ impl SageLayer {
         ops::add_assign(&mut self.bias.grad, &ops::sum_rows(&dz));
         let d_self = ops::matmul_a_bt(&dz, &self.w_self.value);
         let d_neigh = ops::matmul_a_bt(&dz, &self.w_neigh.value);
+        let t0 = timing::start();
         let mut d_in = Matrix::zeros(block.num_src(), self.in_dim());
         for i in 0..block.num_dst() {
-            for (dst, gv) in d_in.row_mut(i).iter_mut().zip(d_self.row(i)) {
-                *dst += gv;
-            }
+            kernels::add_assign_slice(d_in.row_mut(i), d_self.row(i));
             let deg = block.sampled_degree(i);
             if deg == 0 {
                 continue;
             }
             let norm = 1.0 / deg as f32;
-            let g = d_neigh.row(i).to_vec();
+            let g = d_neigh.row(i);
             for &li in block.neighbors_local(i) {
-                for (dst, gv) in d_in.row_mut(li as usize).iter_mut().zip(&g) {
-                    *dst += gv * norm;
-                }
+                kernels::axpy(d_in.row_mut(li as usize), norm, g);
             }
         }
+        timing::stop(Kernel::Aggregate, t0);
         d_in
     }
 

@@ -9,6 +9,10 @@
 //! Modules:
 //! - [`matrix`] — the `Matrix` type and constructors,
 //! - [`ops`] — matmul variants and element-wise arithmetic,
+//! - [`kernels`] — chunked, autovectorization-friendly slice kernels and
+//!   their retained scalar references (profile-guided; see module docs),
+//! - [`timing`] — per-kernel wall-time hooks behind an atomic gate,
+//!   surfaced by `xtask profile --timing`,
 //! - [`activation`] — ReLU / LeakyReLU / ELU / sigmoid / tanh with gradients,
 //! - [`softmax`] — row softmax and softmax-cross-entropy with gradients,
 //! - [`init`] — seeded Xavier / Kaiming initializers,
@@ -17,11 +21,13 @@
 
 pub mod activation;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
 pub mod reduce;
 pub mod softmax;
+pub mod timing;
 
 pub use activation::Activation;
 pub use matrix::Matrix;

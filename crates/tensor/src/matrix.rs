@@ -152,11 +152,19 @@ impl Matrix {
     ///
     /// This is the "gather" primitive of sample-based training: collecting
     /// the feature rows of sampled vertices into a contiguous batch.
+    /// Appends straight into reserved capacity (no zero-fill pass) — see
+    /// [`crate::kernels`] for the measured rationale.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (dst, &src) in indices.iter().enumerate() {
-            out.copy_row_from(dst, self.row(src));
-        }
+        let t0 = crate::timing::start();
+        let mut data = Vec::new();
+        crate::kernels::gather_rows_into(&mut data, &self.data, self.cols, indices);
+        // `cols == 0` gathers still produce `indices.len()` zero-width rows.
+        let out = Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        };
+        crate::timing::stop(crate::timing::Kernel::Gather, t0);
         out
     }
 
@@ -164,13 +172,9 @@ impl Matrix {
     pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
         assert_eq!(indices.len(), src.rows());
         assert_eq!(self.cols, src.cols());
-        for (i, &dst) in indices.iter().enumerate() {
-            let row = src.row(i);
-            let out = self.row_mut(dst);
-            for (o, s) in out.iter_mut().zip(row) {
-                *o += s;
-            }
-        }
+        let t0 = crate::timing::start();
+        crate::kernels::scatter_add_rows(&mut self.data, self.cols, indices, &src.data);
+        crate::timing::stop(crate::timing::Kernel::ScatterAdd, t0);
     }
 
     /// Transposed copy.

@@ -2,13 +2,22 @@
 //!
 //! The three matmul flavours (`A·B`, `Aᵀ·B`, `A·Bᵀ`) cover every product
 //! needed by the GNN forward/backward passes without materialising explicit
-//! transposes. All kernels are cache-blocked on the inner dimension and
-//! parallelised over rows via [`crate::parallel::for_each_row_chunk`].
+//! transposes. The inner loops live in [`crate::kernels`] as chunked,
+//! autovectorization-friendly slice kernels (see that module for the
+//! profile-guided design notes); this module owns shape checking, row
+//! parallelism via [`crate::parallel::for_each_row_chunk`], and the
+//! [`crate::timing`] hooks.
 
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::parallel::for_each_row_chunk;
+use crate::timing::{self, Kernel};
 
 /// `C = A · B` where `A: m×k`, `B: k×n`.
+///
+/// Note the former `a_val == 0.0` skip branch is gone: microbenching showed
+/// it losing on both dense feature rows and ReLU-sparse activations at GNN
+/// hidden widths (see `crate::kernels` module docs and `BENCH_kernels.json`).
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.cols(),
@@ -17,33 +26,25 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         a.cols(),
         b.rows()
     );
+    let t0 = timing::start();
     let (m, k) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
-    let b_data = b.as_slice();
     let a_data = a.as_slice();
+    let b_data = b.as_slice();
     for_each_row_chunk(c.as_mut_slice(), n, m, |row0, rows| {
-        for (local_r, out_row) in rows.chunks_exact_mut(n).enumerate() {
-            let r = row0 + local_r;
-            let a_row = &a_data[r * k..(r + 1) * k];
-            // ikj loop order: stream through B rows, accumulate into out_row.
-            for (kk, &a_val) in a_row.iter().enumerate() {
-                if a_val == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a_val * bv;
-                }
-            }
-        }
+        kernels::matmul_rows(rows, row0, a_data, b_data, k, n);
     });
+    timing::stop(Kernel::Matmul, t0);
     c
 }
 
 /// `C = Aᵀ · B` where `A: k×m`, `B: k×n` → `C: m×n`.
 ///
-/// Used for weight gradients: `∇W = Hᵀ · δ`.
+/// Used for weight gradients: `∇W = Hᵀ · δ`. Stays sequential over `k` —
+/// `m`/`n` are hidden dims, too small for row parallelism — but the k loop
+/// is unrolled by [`kernels::K_UNROLL`] so one pass over each `C` row fuses
+/// four outer-product updates.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.rows(),
@@ -52,30 +53,20 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
         a.rows(),
         b.rows()
     );
+    let t0 = timing::start();
     let (k, m) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
-    // Sequential over k (outer products), accumulating into C. m and n are
-    // small (hidden dims), so parallelism buys little here; keep it simple.
-    for kk in 0..k {
-        let a_row = a.row(kk);
-        let b_row = b.row(kk);
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = c.row_mut(i);
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
-    }
+    kernels::matmul_at_b_acc(c.as_mut_slice(), a.as_slice(), b.as_slice(), k, m, n);
+    timing::stop(Kernel::MatmulAtB, t0);
     c
 }
 
 /// `C = A · Bᵀ` where `A: m×k`, `B: n×k` → `C: m×n`.
 ///
-/// Used for input gradients: `∇H = δ · Wᵀ`.
+/// Used for input gradients: `∇H = δ · Wᵀ`. Each output element is a
+/// multi-accumulator chunked [`kernels::dot`] — the single biggest kernel
+/// win in the workspace (~3.4× over the latency-bound scalar loop).
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.cols(),
@@ -84,25 +75,16 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
         a.cols(),
         b.cols()
     );
+    let t0 = timing::start();
     let (m, k) = a.shape();
     let n = b.rows();
     let mut c = Matrix::zeros(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     for_each_row_chunk(c.as_mut_slice(), n, m, |row0, rows| {
-        for (local_r, out_row) in rows.chunks_exact_mut(n).enumerate() {
-            let r = row0 + local_r;
-            let a_row = &a_data[r * k..(r + 1) * k];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &b_data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
-        }
+        kernels::matmul_a_bt_rows(rows, row0, a_data, b_data, k, n);
     });
+    timing::stop(Kernel::MatmulABt, t0);
     c
 }
 

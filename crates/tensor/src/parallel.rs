@@ -8,12 +8,18 @@
 /// Row count below which kernels run single-threaded.
 pub const PAR_ROW_THRESHOLD: usize = 256;
 
-/// Maximum number of worker threads used by a single kernel.
+/// Maximum number of worker threads used by a single kernel. The OS query
+/// is cached: kernels run millions of times per epoch and
+/// `available_parallelism` is a syscall on most platforms.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    use std::sync::OnceLock;
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
 }
 
 /// Splits `out` (a `rows x cols` row-major buffer) into contiguous row
@@ -23,7 +29,7 @@ pub fn for_each_row_chunk<F>(out: &mut [f32], cols: usize, rows: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    debug_assert_eq!(out.len(), rows * cols.max(1));
+    debug_assert_eq!(out.len(), rows * cols);
     if cols == 0 || rows == 0 {
         return;
     }
@@ -32,7 +38,15 @@ where
         f(0, out);
         return;
     }
+    // Cap by the actual chunk count: with rows just over the threshold,
+    // div_ceil produces fewer chunks than threads, and spawning a scope for
+    // one chunk would pay thread start-up for zero parallelism.
     let chunk_rows = rows.div_ceil(threads);
+    let num_chunks = rows.div_ceil(chunk_rows);
+    if num_chunks <= 1 {
+        f(0, out);
+        return;
+    }
     std::thread::scope(|scope| {
         for (idx, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
             let f = &f;

@@ -1,0 +1,415 @@
+//! `xtask bench-kernels` / `xtask bench-diff`: the BENCH_*.json regression
+//! gate.
+//!
+//! `bench-kernels` runs the kernel microbench
+//! (`crates/bench/benches/kernels.rs`) with the criterion stub's
+//! `CRITERION_JSON` output enabled, prints the chunked-vs-scalar speedup
+//! table, and with `--update` rewrites the committed `BENCH_kernels.json`.
+//!
+//! `bench-diff` is the CI gate. Two halves:
+//!
+//! - **Kernels**: re-runs the microbench and fails on regressions. The CI
+//!   box is a single shared core whose timings swing ~2x between runs, so
+//!   the gates are chosen to catch real regressions without flaking:
+//!   same-run *ratios* (chunked vs scalar measured seconds apart) get
+//!   tight-ish bounds, while cross-run absolute comparisons against the
+//!   committed JSON use a generous [`CROSS_RUN_SLOWDOWN`] factor.
+//! - **Engine**: validates the internal invariants of `BENCH_engine.json`
+//!   (series shapes, deterministic byte accounting, stage-breakdown
+//!   consistency) — generalising the inline python sanity check PR 3's CI
+//!   carried. Byte series are *not* compared across runs: the cache plan
+//!   depends on measured occupancy, so only invariants that hold for every
+//!   valid run are checked.
+
+use crate::json::{parse_lines, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The paired kernels `BENCH_kernels.json` tracks, in report order.
+const PAIRED_KERNELS: [&str; 5] = [
+    "matmul",
+    "matmul_at_b",
+    "matmul_a_bt",
+    "gather",
+    "scatter_add",
+];
+
+/// At least one paired kernel must beat its scalar reference by this much
+/// in the same run (the tentpole's acceptance floor; measured headroom is
+/// ~4x on matmul, ~2.6x on matmul_a_bt).
+const MIN_BEST_SPEEDUP: f64 = 1.5;
+
+/// No chunked kernel may fall below this fraction of its scalar reference
+/// in the same run. Same-run ratios still jitter on the shared box (the
+/// two sides run seconds apart), so this is a catastrophic-pessimisation
+/// guard, not a tightness claim.
+const MIN_ANY_SPEEDUP: f64 = 0.5;
+
+/// Cross-run gate: a chunked kernel (or any non-paired bench) fails if it
+/// runs this many times slower than the committed baseline. Covers the
+/// observed ~2x machine noise with margin; a real algorithmic regression
+/// (e.g. losing autovectorization) typically costs 3-5x.
+const CROSS_RUN_SLOWDOWN: f64 = 3.0;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs the kernel microbench, returning `id -> min_ns`.
+fn run_microbench() -> Result<BTreeMap<String, u64>, String> {
+    let root = workspace_root();
+    let json_path = root.join("target").join("criterion-bench.jsonl");
+    let _ = std::fs::remove_file(&json_path);
+    println!("running kernel microbench (cargo bench -p neutron-bench --bench kernels)...");
+    let status = Command::new("cargo")
+        .current_dir(&root)
+        .args(["bench", "-p", "neutron-bench", "--bench", "kernels"])
+        .env("CRITERION_JSON", &json_path)
+        .status()
+        .map_err(|e| format!("failed to run cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench failed with {status}"));
+    }
+    let text = std::fs::read_to_string(&json_path)
+        .map_err(|e| format!("no bench output at {}: {e}", json_path.display()))?;
+    let mut out = BTreeMap::new();
+    for line in parse_lines(&text)? {
+        let id = line
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("bench line missing id")?;
+        let min = line
+            .get("min_ns")
+            .and_then(Value::as_u64)
+            .ok_or("bench line missing min_ns")?;
+        out.insert(id.to_string(), min);
+    }
+    Ok(out)
+}
+
+struct Pair {
+    kernel: &'static str,
+    scalar_ns: u64,
+    chunked_ns: u64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.chunked_ns.max(1) as f64
+    }
+}
+
+fn collect_pairs(results: &BTreeMap<String, u64>) -> Result<Vec<Pair>, String> {
+    PAIRED_KERNELS
+        .iter()
+        .map(|&kernel| {
+            let get = |variant: &str| {
+                let id = format!("kern/{kernel}/{variant}");
+                results
+                    .get(&id)
+                    .copied()
+                    .ok_or(format!("microbench produced no '{id}' result"))
+            };
+            Ok(Pair {
+                kernel,
+                scalar_ns: get("scalar")?,
+                chunked_ns: get("chunked")?,
+            })
+        })
+        .collect()
+}
+
+fn print_pairs(pairs: &[Pair]) {
+    println!("\nkernel          scalar(ref)      chunked      speedup");
+    for p in pairs {
+        println!(
+            "{:<14} {:>10.1}us {:>10.1}us {:>9.2}x",
+            p.kernel,
+            p.scalar_ns as f64 / 1e3,
+            p.chunked_ns as f64 / 1e3,
+            p.speedup()
+        );
+    }
+}
+
+/// `xtask bench-kernels [--update]`.
+pub fn bench_kernels(update: bool) -> Result<(), String> {
+    let results = run_microbench()?;
+    let pairs = collect_pairs(&results)?;
+    print_pairs(&pairs);
+    if !update {
+        println!("\n(read-only; pass --update to rewrite BENCH_kernels.json)");
+        return Ok(());
+    }
+    let mut kernels = String::new();
+    for (i, p) in pairs.iter().enumerate() {
+        let sep = if i + 1 == pairs.len() { "" } else { "," };
+        kernels.push_str(&format!(
+            "    \"{}\": {{\"scalar_ns\": {}, \"chunked_ns\": {}, \"speedup\": {:.2}}}{sep}\n",
+            p.kernel,
+            p.scalar_ns,
+            p.chunked_ns,
+            p.speedup()
+        ));
+    }
+    let mut other = String::new();
+    let others: Vec<(&String, &u64)> = results
+        .iter()
+        .filter(|(id, _)| !id.starts_with("kern/"))
+        .collect();
+    for (i, (id, ns)) in others.iter().enumerate() {
+        let sep = if i + 1 == others.len() { "" } else { "," };
+        other.push_str(&format!("    \"{id}\": {ns}{sep}\n"));
+    }
+    let json = format!(
+        "{{\n  \"note\": \"min-of-N ns per iteration on the CI container (one shared core; cross-run noise ~2x — xtask bench-diff gates same-run ratios tightly, cross-run absolutes at {CROSS_RUN_SLOWDOWN}x). Refresh with: cargo xtask bench-kernels --update\",\n  \"kernels\": {{\n{kernels}  }},\n  \"other_ns\": {{\n{other}  }}\n}}\n"
+    );
+    let path = workspace_root().join("BENCH_kernels.json");
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+/// The kernel half of `xtask bench-diff`.
+fn diff_kernels() -> Result<(), String> {
+    let results = run_microbench()?;
+    let pairs = collect_pairs(&results)?;
+    print_pairs(&pairs);
+    let mut failures: Vec<String> = Vec::new();
+
+    let best = pairs
+        .iter()
+        .map(Pair::speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if best < MIN_BEST_SPEEDUP {
+        failures.push(format!(
+            "best chunked-vs-scalar speedup {best:.2}x fell below the {MIN_BEST_SPEEDUP}x floor"
+        ));
+    }
+    for p in &pairs {
+        if p.speedup() < MIN_ANY_SPEEDUP {
+            failures.push(format!(
+                "kernel '{}' runs {:.2}x its scalar reference (floor {MIN_ANY_SPEEDUP}x of scalar)",
+                p.kernel,
+                1.0 / p.speedup()
+            ));
+        }
+    }
+
+    // Cross-run comparison against the committed baseline, when present.
+    let baseline_path = workspace_root().join("BENCH_kernels.json");
+    match std::fs::read_to_string(&baseline_path) {
+        Err(_) => println!(
+            "\nno committed BENCH_kernels.json — skipping cross-run comparison \
+             (create it with: cargo xtask bench-kernels --update)"
+        ),
+        Ok(text) => {
+            let baseline = Value::parse(&text)?;
+            for p in &pairs {
+                let committed = baseline
+                    .get("kernels")
+                    .and_then(|k| k.get(p.kernel))
+                    .and_then(|k| k.get("chunked_ns"))
+                    .and_then(Value::as_u64);
+                if let Some(committed) = committed {
+                    let ratio = p.chunked_ns as f64 / committed.max(1) as f64;
+                    if ratio > CROSS_RUN_SLOWDOWN {
+                        failures.push(format!(
+                            "kernel '{}' regressed {ratio:.2}x vs committed baseline \
+                             ({} ns -> {} ns; gate {CROSS_RUN_SLOWDOWN}x)",
+                            p.kernel, committed, p.chunked_ns
+                        ));
+                    }
+                }
+            }
+            if let Some(Value::Obj(other)) = baseline.get("other_ns") {
+                for (id, committed) in other {
+                    let (Some(committed), Some(&fresh)) = (committed.as_u64(), results.get(id))
+                    else {
+                        continue;
+                    };
+                    let ratio = fresh as f64 / committed.max(1) as f64;
+                    if ratio > CROSS_RUN_SLOWDOWN {
+                        failures.push(format!(
+                            "bench '{id}' regressed {ratio:.2}x vs committed baseline \
+                             ({committed} ns -> {fresh} ns; gate {CROSS_RUN_SLOWDOWN}x)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nkernel gate: OK (best speedup {best:.2}x)");
+        Ok(())
+    } else {
+        Err(format!("kernel gate FAILED:\n  {}", failures.join("\n  ")))
+    }
+}
+
+/// The engine half of `xtask bench-diff`: internal invariants of
+/// `BENCH_engine.json`.
+fn diff_engine() -> Result<(), String> {
+    let path = workspace_root().join("BENCH_engine.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Value::parse(&text)?;
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+
+    let epochs = doc
+        .get("epochs")
+        .and_then(Value::as_u64)
+        .ok_or("BENCH_engine.json missing 'epochs'")? as usize;
+    let series = |key: &str| -> Result<Vec<f64>, String> {
+        doc.get(key)
+            .and_then(Value::as_f64_series)
+            .ok_or(format!("missing or non-numeric series '{key}'"))
+    };
+
+    // Series shapes + sign.
+    for key in [
+        "sequential_epoch_seconds",
+        "respawn_epoch_seconds",
+        "engine_epoch_seconds",
+        "adaptive_cpu_fraction",
+        "cache_hits_per_epoch",
+        "cache_misses_per_epoch",
+        "h2d_bytes_per_epoch",
+        "h2d_bytes_per_epoch_nocache",
+        "train_occupancy",
+        "losses",
+    ] {
+        let s = series(key)?;
+        check(
+            s.len() == epochs,
+            &format!("series '{key}' length != epochs"),
+        );
+        check(
+            s.iter().all(|v| v.is_finite() && *v >= 0.0),
+            &format!("series '{key}' has negative or non-finite entries"),
+        );
+    }
+
+    // Deterministic byte accounting (the PR 3 python step, ported).
+    let cached = series("h2d_bytes_per_epoch")?;
+    let nocache = series("h2d_bytes_per_epoch_nocache")?;
+    let hits = series("cache_hits_per_epoch")?;
+    check(
+        nocache.iter().all(|&v| v > 0.0),
+        "cache-less H2D volume must be nonzero every epoch",
+    );
+    check(
+        cached[0] == nocache[0],
+        "epoch 0 runs before the first plan: cached and cache-less volumes must match",
+    );
+    check(
+        cached.iter().zip(&nocache).all(|(c, n)| c <= n),
+        "the cache may only remove transferred bytes",
+    );
+    check(
+        cached.iter().sum::<f64>() < nocache.iter().sum::<f64>(),
+        "a nonzero cache budget must reduce total transferred bytes",
+    );
+    check(hits.iter().sum::<f64>() > 0.0, "no cache hits recorded");
+
+    // Stage breakdown consistency (per-stage timing added with the xtask
+    // harness): every stage series spans the epochs, and the train stage's
+    // busy + starved time stays within wall-clock (small tolerance for the
+    // 4-decimal rounding the JSON writer applies).
+    let stages = doc
+        .get("stage_seconds")
+        .ok_or("missing 'stage_seconds' breakdown")?;
+    for key in [
+        "sample",
+        "gather",
+        "transfer",
+        "train",
+        "train_wait",
+        "refresh",
+    ] {
+        let s = stages
+            .get(key)
+            .and_then(Value::as_f64_series)
+            .ok_or(format!("stage_seconds missing '{key}'"))?;
+        check(
+            s.len() == epochs,
+            &format!("stage_seconds['{key}'] length != epochs"),
+        );
+        check(
+            s.iter().all(|v| v.is_finite() && *v >= 0.0),
+            &format!("stage_seconds['{key}'] has negative entries"),
+        );
+    }
+    let wall = series("engine_epoch_seconds")?;
+    let train = stages.get("train").and_then(Value::as_f64_series).unwrap();
+    let wait = stages
+        .get("train_wait")
+        .and_then(Value::as_f64_series)
+        .unwrap();
+    for e in 0..epochs {
+        check(
+            train[e] + wait[e] <= wall[e] * 1.02 + 1e-3,
+            &format!("epoch {e}: train busy+starved exceeds epoch wall-clock"),
+        );
+    }
+
+    // Kernel totals from the timing hooks: present and plausible (nonzero,
+    // not larger than total busy time across all workers could explain).
+    let kernels = doc
+        .get("kernel_seconds")
+        .ok_or("missing 'kernel_seconds' (tensor timing hooks)")?;
+    if let Value::Obj(map) = kernels {
+        let sum: f64 = map.values().filter_map(Value::as_f64).sum();
+        check(sum > 0.0, "kernel_seconds sums to zero — hooks were off");
+        check(
+            map.values().filter_map(Value::as_f64).all(|v| v >= 0.0),
+            "kernel_seconds has negative entries",
+        );
+    } else {
+        failures.push("'kernel_seconds' is not an object".into());
+    }
+
+    if failures.is_empty() {
+        println!(
+            "engine gate: OK ({} epochs, {:.1}% H2D saved by the cache)",
+            epochs,
+            100.0 * (1.0 - cached.iter().sum::<f64>() / nocache.iter().sum::<f64>())
+        );
+        Ok(())
+    } else {
+        Err(format!("engine gate FAILED:\n  {}", failures.join("\n  ")))
+    }
+}
+
+/// `xtask bench-diff [--kernels-only | --engine-only]`.
+pub fn bench_diff(kernels: bool, engine: bool) -> Result<(), String> {
+    let mut errors: Vec<String> = Vec::new();
+    if engine {
+        if let Err(e) = diff_engine() {
+            errors.push(e);
+        }
+    }
+    if kernels {
+        if let Err(e) = diff_kernels() {
+            errors.push(e);
+        }
+    }
+    if errors.is_empty() {
+        println!("\nbench-diff: all gates passed");
+        Ok(())
+    } else {
+        Err(errors.join("\n"))
+    }
+}

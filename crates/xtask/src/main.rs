@@ -1,0 +1,100 @@
+//! Workspace task runner (`cargo xtask ...`).
+//!
+//! Subcommands:
+//!
+//! - `profile <workload> [--epochs N]` — run a named workload under
+//!   `samply record` (re-execs this binary as `profile-exec`).
+//! - `profile <workload> --timing [--epochs N]` — run inline with the
+//!   tensor timing hooks on; print per-stage and per-kernel breakdowns.
+//! - `profile-exec <workload> [--epochs N]` — the inline runner samply
+//!   wraps; usable directly for a plain timed run.
+//! - `bench-kernels [--update]` — run the kernel microbench, print the
+//!   chunked-vs-scalar table, optionally rewrite `BENCH_kernels.json`.
+//! - `bench-diff [--kernels-only | --engine-only]` — the CI regression
+//!   gate over `BENCH_kernels.json` and `BENCH_engine.json`.
+
+mod benchdiff;
+mod json;
+mod profile;
+
+use profile::Workload;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  profile <quickstart|pipeline|engine> [--timing] [--epochs N]
+      run a workload under samply (default) or with timing hooks (--timing)
+  profile-exec <workload> [--epochs N]
+      run the workload inline (what samply wraps)
+  bench-kernels [--update]
+      run the kernel microbench; --update rewrites BENCH_kernels.json
+  bench-diff [--kernels-only|--engine-only]
+      regression gate: kernel speedups + BENCH_engine.json invariants";
+
+const DEFAULT_EPOCHS: usize = 4;
+
+fn parse_epochs(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--epochs") {
+        None => Ok(DEFAULT_EPOCHS),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--epochs needs a value".to_string())?
+            .parse::<usize>()
+            .map_err(|e| format!("bad --epochs value: {e}"))
+            .and_then(|n| {
+                if n == 0 {
+                    Err("--epochs must be >= 1".into())
+                } else {
+                    Ok(n)
+                }
+            }),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(USAGE.into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "profile" => {
+            let name = rest.first().ok_or(USAGE.to_string())?;
+            let workload = Workload::parse(name)?;
+            let epochs = parse_epochs(rest)?;
+            if rest.iter().any(|a| a == "--timing") {
+                profile::timing_run(workload, epochs);
+                Ok(())
+            } else {
+                profile::profile(workload, epochs)
+            }
+        }
+        "profile-exec" => {
+            let name = rest.first().ok_or(USAGE.to_string())?;
+            profile::exec(Workload::parse(name)?, parse_epochs(rest)?);
+            Ok(())
+        }
+        "bench-kernels" => benchdiff::bench_kernels(rest.iter().any(|a| a == "--update")),
+        "bench-diff" => {
+            let kernels_only = rest.iter().any(|a| a == "--kernels-only");
+            let engine_only = rest.iter().any(|a| a == "--engine-only");
+            if kernels_only && engine_only {
+                return Err("--kernels-only and --engine-only are mutually exclusive".into());
+            }
+            benchdiff::bench_diff(!engine_only, !kernels_only)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,222 @@
+//! `xtask profile`: run a named workload under a sampling profiler, or with
+//! the in-process timing hooks (`--timing`) for a per-stage / per-kernel
+//! wall-time breakdown.
+//!
+//! Profiler mode follows the nomt xtask pattern: verify `samply` exists,
+//! then re-exec this same binary under `samply record` with the subcommand
+//! swapped to the inline `profile-exec` runner, so the profiled process is
+//! nothing but the workload.
+
+use neutron_core::engine::{EngineConfig, TrainingEngine};
+use neutron_core::pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
+use neutron_core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
+use neutron_graph::DatasetSpec;
+use neutron_nn::LayerKind;
+use neutron_tensor::timing;
+use std::process::Command;
+use std::time::Instant;
+
+/// The named workloads `xtask profile` can drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// The quickstart convergence run: sequential hotness-aware training on
+    /// the Reddit-convergence replica (no pipeline).
+    Quickstart,
+    /// Per-epoch pipelined executor (`PipelineExecutor::run_epoch`) on the
+    /// scaled Reddit replica — respawns stage workers every epoch.
+    Pipeline,
+    /// A persistent `TrainingEngine` session on the scaled Reddit replica —
+    /// the BENCH_engine.json configuration.
+    Engine,
+}
+
+impl Workload {
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "quickstart" => Ok(Self::Quickstart),
+            "pipeline" => Ok(Self::Pipeline),
+            "engine" => Ok(Self::Engine),
+            other => Err(format!(
+                "unknown workload '{other}' (expected quickstart | pipeline | engine)"
+            )),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Quickstart => "quickstart",
+            Self::Pipeline => "pipeline",
+            Self::Engine => "engine",
+        }
+    }
+}
+
+/// The scaled Reddit replica every pipelined bench uses (matches
+/// `examples/engine_multi_epoch.rs`).
+fn scaled_spec() -> DatasetSpec {
+    let mut spec = DatasetSpec::reddit_convergence();
+    spec.vertices = 8_000;
+    spec.edges = 640_000;
+    spec
+}
+
+fn scaled_trainer(spec: &DatasetSpec) -> ConvergenceTrainer {
+    let config = TrainerConfig {
+        kind: LayerKind::Gcn,
+        layers: 2,
+        batch_size: 256,
+        lr: 0.2,
+        seed: 0xe4e,
+        policy: ReusePolicy::HotnessAware {
+            hot_ratio: 0.2,
+            super_batch: 2,
+        },
+    };
+    ConvergenceTrainer::new(spec.build_full(), config)
+}
+
+/// Runs the workload inline and returns the per-epoch stage reports it
+/// produced (empty for workloads without a pipeline).
+fn run_workload(workload: Workload, epochs: usize) -> Vec<PipelineReport> {
+    match workload {
+        Workload::Quickstart => {
+            let spec = DatasetSpec::reddit_convergence();
+            let policy = ReusePolicy::HotnessAware {
+                hot_ratio: 0.2,
+                super_batch: 4,
+            };
+            let config = TrainerConfig::convergence_default(LayerKind::Gcn, policy);
+            let mut trainer = ConvergenceTrainer::new(spec.build_full(), config);
+            for epoch in 0..epochs {
+                let obs = trainer.train_epoch(epoch);
+                println!("epoch {epoch}: loss {:.4}", obs.train_loss);
+            }
+            Vec::new()
+        }
+        Workload::Pipeline => {
+            let spec = scaled_spec();
+            let mut trainer = scaled_trainer(&spec);
+            let exec = PipelineExecutor::new(PipelineConfig::default());
+            let mut reports = Vec::with_capacity(epochs);
+            for epoch in 0..epochs {
+                let (obs, report) = exec.run_epoch(&mut trainer, epoch);
+                println!(
+                    "epoch {epoch}: loss {:.4}, {:.2}s",
+                    obs.train_loss, report.epoch_seconds
+                );
+                reports.push(report);
+            }
+            reports
+        }
+        Workload::Engine => {
+            let spec = scaled_spec();
+            let mut trainer = scaled_trainer(&spec);
+            let engine = TrainingEngine::new(EngineConfig::default());
+            let session = engine.run_session(&mut trainer, 0, epochs);
+            for run in &session.epochs {
+                println!(
+                    "epoch {}: loss {:.4}, {:.2}s (occupancy {:.2})",
+                    run.epoch,
+                    run.observation.train_loss,
+                    run.report.epoch_seconds,
+                    run.report.train_occupancy()
+                );
+            }
+            session.epochs.into_iter().map(|r| r.report).collect()
+        }
+    }
+}
+
+/// `xtask profile-exec`: the inline runner `samply record` wraps.
+pub fn exec(workload: Workload, epochs: usize) {
+    println!("running workload '{}' for {epochs} epochs", workload.name());
+    let t0 = Instant::now();
+    run_workload(workload, epochs);
+    println!("workload done in {:.2}s", t0.elapsed().as_secs_f64());
+}
+
+/// `xtask profile <workload> --timing`: run inline with the tensor timing
+/// hooks enabled and print the per-stage / per-kernel breakdown.
+pub fn timing_run(workload: Workload, epochs: usize) {
+    timing::reset();
+    timing::set_enabled(true);
+    let t0 = Instant::now();
+    let reports = run_workload(workload, epochs);
+    let wall = t0.elapsed().as_secs_f64();
+    timing::set_enabled(false);
+    let snap = timing::snapshot();
+
+    if !reports.is_empty() {
+        // Stage busy-time totals across the run. Stages run on concurrent
+        // workers, so the sum can exceed wall-clock — each line is that
+        // stage's own busy seconds.
+        let total = |f: fn(&PipelineReport) -> f64| reports.iter().map(f).sum::<f64>();
+        let epoch_secs = total(|r| r.epoch_seconds);
+        println!("\nper-stage busy seconds ({} epochs):", reports.len());
+        let rows: [(&str, f64); 5] = [
+            ("sample", total(|r| r.sample_seconds)),
+            ("gather (host collect)", total(|r| r.gather_collect_seconds)),
+            ("transfer (H2D)", total(|r| r.transfer_seconds)),
+            ("train (busy)", total(|r| r.train_seconds)),
+            ("train (starved)", total(|r| r.train_wait_seconds)),
+        ];
+        for (name, secs) in rows {
+            println!(
+                "  {name:<22} {secs:>8.3}s  ({:>5.1}% of epoch wall)",
+                100.0 * secs / epoch_secs.max(1e-12)
+            );
+        }
+        println!("  {:<22} {epoch_secs:>8.3}s", "epoch wall total");
+    }
+
+    println!("\nper-kernel seconds (tensor timing hooks):");
+    for (name, stat) in snap.iter() {
+        if stat.calls == 0 {
+            continue;
+        }
+        println!(
+            "  {name:<14} {:>8.3}s  {:>9} calls  ({:>5.1}% of wall)",
+            stat.seconds(),
+            stat.calls,
+            100.0 * stat.seconds() / wall.max(1e-12)
+        );
+    }
+    println!(
+        "  {:<14} {:>8.3}s  (wall {wall:.3}s; kernels overlap across threads)",
+        "kernel total",
+        snap.total_seconds()
+    );
+}
+
+/// `xtask profile <workload>`: wrap the inline runner in `samply record`.
+pub fn profile(workload: Workload, epochs: usize) -> Result<(), String> {
+    let have_samply = Command::new("sh")
+        .args(["-c", "command -v samply"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !have_samply {
+        return Err(
+            "samply not found — install it (`cargo install samply`), or use \
+             `--timing` for the hook-based breakdown (no profiler needed)"
+                .into(),
+        );
+    }
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let status = Command::new("samply")
+        .arg("record")
+        .arg(exe)
+        .args([
+            "profile-exec",
+            workload.name(),
+            "--epochs",
+            &epochs.to_string(),
+        ])
+        .status()
+        .map_err(|e| format!("failed to launch samply: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("samply exited with {status}"))
+    }
+}

@@ -70,6 +70,53 @@ fn session_bit_identical_to_sequential_epochs_at_any_thread_count() {
     }
 }
 
+/// Sharding the refresh worker's CPU partition across threads must be
+/// invisible: shards are contiguous sub-partitions and every vertex's
+/// sampler is seeded per-vertex, so any `refresh_workers` setting — serial,
+/// few, or far more threads than shards — replays the exact sequential
+/// trajectory.
+#[test]
+fn sharded_refresh_is_bit_identical_at_any_worker_count() {
+    let policy = || ReusePolicy::HotnessAware {
+        hot_ratio: 0.3,
+        super_batch: 2,
+    };
+    let epochs = 4;
+    let seq_exec = PipelineExecutor::new(PipelineConfig::default());
+    let mut seq = trainer(policy());
+    let reference: Vec<_> = (0..epochs)
+        .map(|e| seq_exec.run_epoch_sequential(&mut seq, e).0)
+        .collect();
+    for refresh_workers in [1, 2, 3, 16] {
+        let mut t = trainer(policy());
+        let mut config = EngineConfig {
+            pipeline: PipelineConfig {
+                sampler_threads: 2,
+                gather_threads: 2,
+                channel_depth: 3,
+                h2d_gibps: 0.0,
+            },
+            adaptive_split: true,
+            gpu_free_bytes: 64 << 20,
+            ..EngineConfig::default()
+        };
+        config.refresh_workers = refresh_workers;
+        let session = TrainingEngine::new(config).run_session(&mut t, 0, epochs);
+        for (run, want) in session.epochs.iter().zip(&reference) {
+            assert_eq!(
+                run.observation.train_loss, want.train_loss,
+                "epoch {} loss diverged with {refresh_workers} refresh workers",
+                run.epoch
+            );
+            assert_eq!(
+                run.observation.test_accuracy, want.test_accuracy,
+                "epoch {} accuracy diverged with {refresh_workers} refresh workers",
+                run.epoch
+            );
+        }
+    }
+}
+
 /// One session is also bit-identical to many single-epoch sessions (the
 /// compat path used by `PipelineExecutor::run_epoch`), proving the parked
 /// worker pool and the in-flight refresh hand-off across epoch boundaries

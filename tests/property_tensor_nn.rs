@@ -3,11 +3,32 @@
 use neutronorch::nn::gradcheck;
 use neutronorch::nn::LayerKind;
 use neutronorch::sample::Block;
-use neutronorch::tensor::{init, ops, softmax, Matrix};
+use neutronorch::tensor::{init, kernels, ops, softmax, Matrix};
 use proptest::prelude::*;
 
 fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..12, 1usize..12, 1usize..12)
+}
+
+/// Shapes that stress the chunked kernels' edges: zero-sized dimensions,
+/// single columns, and inner dimensions straddling every lane/unroll
+/// boundary of the 8-lane dot and the 4-wide k-unroll.
+fn degenerate_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..10, 0usize..35, 0usize..10)
+}
+
+/// The chunked GEMMs change summation order versus the scalar references,
+/// so elements agree to rounding, not bit-for-bit: within a few hundred
+/// ULPs, or absolutely tiny where cancellation makes ULPs meaningless.
+fn ulp_close(a: f32, b: f32) -> bool {
+    if a == b {
+        return true;
+    }
+    if (a - b).abs() <= 1e-4 {
+        return true;
+    }
+    let (ai, bi) = (a.to_bits() as i64, b.to_bits() as i64);
+    a.is_finite() && b.is_finite() && a.signum() == b.signum() && (ai - bi).abs() <= 256
 }
 
 proptest! {
@@ -54,6 +75,65 @@ proptest! {
             prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
             prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
+    }
+
+    #[test]
+    fn chunked_gemms_match_scalar_references_on_degenerate_shapes(
+        (m, k, n) in degenerate_dims(),
+        seed in any::<u64>(),
+    ) {
+        let a = init::uniform(m, k, -2.0, 2.0, seed);
+        let b = init::uniform(k, n, -2.0, 2.0, seed ^ 0x11);
+        let want = kernels::reference::matmul(a.as_slice(), b.as_slice(), m, k, n);
+        let got = ops::matmul(&a, &b);
+        prop_assert_eq!(got.as_slice().len(), want.len());
+        for (i, (&g, &w)) in got.as_slice().iter().zip(&want).enumerate() {
+            prop_assert!(ulp_close(g, w), "matmul[{}]: chunked {} vs scalar {}", i, g, w);
+        }
+
+        // Aᵀ·B accumulates over rows of A (shape k×m here).
+        let at = init::uniform(k, m, -2.0, 2.0, seed ^ 0x22);
+        let want = kernels::reference::matmul_at_b(at.as_slice(), b.as_slice(), k, m, n);
+        let got = ops::matmul_at_b(&at, &b);
+        for (i, (&g, &w)) in got.as_slice().iter().zip(&want).enumerate() {
+            prop_assert!(ulp_close(g, w), "matmul_at_b[{}]: chunked {} vs scalar {}", i, g, w);
+        }
+
+        // A·Bᵀ dots rows of A against rows of B (shape n×k here).
+        let bt = init::uniform(n, k, -2.0, 2.0, seed ^ 0x33);
+        let want = kernels::reference::matmul_a_bt(a.as_slice(), bt.as_slice(), m, k, n);
+        let got = ops::matmul_a_bt(&a, &bt);
+        for (i, (&g, &w)) in got.as_slice().iter().zip(&want).enumerate() {
+            prop_assert!(ulp_close(g, w), "matmul_a_bt[{}]: chunked {} vs scalar {}", i, g, w);
+        }
+    }
+
+    #[test]
+    fn chunked_gather_and_scatter_are_bit_identical_to_references(
+        rows in 1usize..20,
+        cols in 0usize..12,
+        picks in proptest::collection::vec(0usize..20, 0..32),
+        seed in any::<u64>(),
+    ) {
+        // Row moves and adds are copy/add-exact: bit equality, not ULPs —
+        // duplicate indices included (scatter accumulates in index order).
+        let src = init::uniform(rows, cols, -3.0, 3.0, seed);
+        let indices: Vec<usize> = picks.iter().map(|&p| p % rows).collect();
+
+        let want = kernels::reference::gather_rows(src.as_slice(), cols, &indices);
+        let got = src.gather_rows(&indices);
+        prop_assert_eq!(got.rows(), indices.len());
+        prop_assert_eq!(got.cols(), cols);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+
+        let grads = init::uniform(indices.len(), cols, -3.0, 3.0, seed ^ 0x44);
+        let mut want_out = init::uniform(rows, cols, -1.0, 1.0, seed ^ 0x55);
+        let mut got_out = want_out.clone();
+        kernels::reference::scatter_add_rows(
+            want_out.as_mut_slice(), cols, &indices, grads.as_slice(),
+        );
+        got_out.scatter_add_rows(&indices, &grads);
+        prop_assert_eq!(got_out.as_slice(), want_out.as_slice());
     }
 
     #[test]

@@ -6,30 +6,59 @@
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Timing methodology is deliberately simple — one warm-up call followed by
-//! a fixed small number of timed iterations, reporting the mean — because
-//! without crates.io access there is no statistics machinery to lean on.
-//! The numbers are indicative, not publication-grade.
+//! a fixed small number of timed iterations, reporting the minimum —
+//! because without crates.io access there is no statistics machinery to
+//! lean on. Min-of-N is the robust choice on a noisy shared machine: every
+//! source of interference (scheduler preemption, frequency shifts, cache
+//! pollution from neighbours) only ever *adds* time, so the minimum is the
+//! best available estimate of the code's intrinsic cost. The numbers are
+//! indicative, not publication-grade.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, each
+//! benchmark also appends one JSON line
+//! (`{"id":"...","min_ns":...,"mean_ns":...,"iters":N}`) so harnesses like
+//! `xtask bench-diff` can consume results without scraping stdout.
 
 use std::time::{Duration, Instant};
 
 /// Timed iterations per benchmark (after one warm-up call).
-const TIMED_ITERS: u32 = 5;
+const TIMED_ITERS: u32 = 7;
 
 /// Benchmark driver.
 #[derive(Default)]
 pub struct Criterion {}
 
 impl Criterion {
-    /// Runs `f` with a [`Bencher`] and prints the mean iteration time.
+    /// Runs `f` with a [`Bencher`] and prints the minimum iteration time.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
+            min: Duration::ZERO,
             mean: Duration::ZERO,
         };
         f(&mut b);
-        println!("bench {id:<44} {:>12.3?} (mean of {TIMED_ITERS})", b.mean);
+        println!("bench {id:<44} {:>12.3?} (min of {TIMED_ITERS})", b.min);
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"id\":{},\"min_ns\":{},\"mean_ns\":{},\"iters\":{}}}\n",
+                    json_string(id),
+                    b.min.as_nanos(),
+                    b.mean.as_nanos(),
+                    TIMED_ITERS
+                );
+                use std::io::Write;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = f.write_all(line.as_bytes());
+                }
+            }
+        }
         self
     }
 
@@ -43,20 +72,44 @@ impl Criterion {
     }
 }
 
+/// Minimal JSON string escaping for benchmark ids.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Per-benchmark iteration driver.
 pub struct Bencher {
+    min: Duration,
     mean: Duration,
 }
 
 impl Bencher {
-    /// Times `f` over a warm-up call plus [`TIMED_ITERS`] measured calls.
+    /// Times `f` over a warm-up call plus [`TIMED_ITERS`] individually
+    /// measured calls, keeping both the minimum and the mean.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         std::hint::black_box(f());
-        let start = Instant::now();
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
         for _ in 0..TIMED_ITERS {
+            let start = Instant::now();
             std::hint::black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
         }
-        self.mean = start.elapsed() / TIMED_ITERS;
+        self.min = min;
+        self.mean = total / TIMED_ITERS;
     }
 }
 
