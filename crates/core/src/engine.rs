@@ -10,6 +10,8 @@
 //!              ▼                                                         │
 //! [sample xN] --ch--> [gather xM] --ch--> [transfer] --ch--> [train]  (epoch
 //!   persistent          persistent          persistent        caller   loop)
+//!      ▲                                                         │
+//!      └─────────── spent-buffer return channel (pool) ◄─────────┘
 //!
 //! [refresh worker] <--task-- train thread at super-batch boundaries
 //!                  --rows--> published at the *next* boundary (double buffer)
@@ -23,6 +25,14 @@
 //!   job's shared counter, and go back to waiting when the counter runs
 //!   dry. Gather/transfer workers park implicitly on their empty input
 //!   channels. Multi-epoch runs pay thread startup once, not per epoch.
+//! - **Allocation-free steady state** — after each batch trains, its spent
+//!   buffers ([`BatchBuffers`]) flow back to the sampler pool through a
+//!   bounded return channel and are refilled in place; the epoch-batch
+//!   list, the train-side reorder window and every per-batch vector reuse
+//!   session-lifetime capacity. Warm epochs allocate (near) nothing on the
+//!   sample/gather/transfer hot path — measured per stage by
+//!   [`neutron_tensor::alloc`] and regression-gated by
+//!   `cargo xtask bench-diff`.
 //! - **Pipelined refresh (Fig 8)** — at each super-batch boundary the
 //!   trainer snapshots its bottom-layer parameters into a
 //!   [`RefreshTask`] and hands the CPU share to the dedicated refresh
@@ -43,12 +53,13 @@
 
 use crate::gather::{GatheredFeatures, StagedBatch};
 use crate::pipeline::{PipelineConfig, PipelineReport};
+use crate::pool::BatchBuffers;
 use crate::refresh::{CpuPart, RefreshBackend, RefreshOutput, RefreshTask};
 use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation};
 use neutron_cache::{FeatureCache, HybridPolicy};
-use neutron_graph::VertexId;
-use neutron_sample::SamplerScratch;
-use std::collections::{BTreeMap, VecDeque};
+use neutron_sample::{Block, BlockBuilder, EpochBatches, SamplerScratch};
+use neutron_tensor::alloc::{self, AllocSnapshot, Stage};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -123,6 +134,35 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Non-blocking **LIFO** receive: `None` when the queue is momentarily
+    /// empty (or closed) — the pool path's "no spare bundle, allocate
+    /// fresh". Popping the most recently returned item keeps a buffer pool
+    /// cycling its hottest bundles — the ones whose capacities have already
+    /// grown to the working set — so steady state arrives after a handful
+    /// of batches instead of after every pooled bundle has individually
+    /// served the largest batch.
+    pub(crate) fn try_recv(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        let item = st.queue.pop_back();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Non-blocking send: hands `item` back when the channel is full or
+    /// closed, so a bounded pool can simply drop surplus bundles instead
+    /// of stalling the train stage on its own recycling.
+    pub(crate) fn try_send(&self, item: T) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.queue.len() >= self.capacity {
+            return Some(item);
+        }
+        st.queue.push_back(item);
+        self.not_empty.notify_one();
+        None
+    }
+
     /// Marks the channel closed; receivers drain the queue then see `None`.
     pub(crate) fn close(&self) {
         self.state.lock().unwrap().closed = true;
@@ -183,8 +223,10 @@ struct EpochJob {
     generation: u64,
     /// Epoch number (seeds batch sampling).
     epoch: usize,
-    /// The epoch's shuffled batches, in train order.
-    batches: Arc<Vec<Vec<VertexId>>>,
+    /// The epoch's shuffled batches, in train order. The `Arc` is recycled
+    /// across epochs (see `run_session`): one flat id buffer serves the
+    /// whole session instead of a fresh `Vec<Vec<_>>` per epoch.
+    batches: Arc<EpochBatches>,
     /// Shared claim counter: samplers `fetch_add` to pick the next batch.
     next: Arc<AtomicUsize>,
     /// The GPU feature cache in effect for this epoch. Published with the
@@ -252,26 +294,48 @@ impl EpochGate {
     }
 }
 
+/// One sampled batch in flight between the sampler pool and the gather
+/// workers, carrying the recycled buffer bundle whose block capacity it was
+/// (partly) built from — the gather stage draws its own buffers from the
+/// same bundle, and the whole thing rides to the train stage and back to
+/// the pool.
+struct SampledItem {
+    index: usize,
+    blocks: Vec<Block>,
+    cache: Arc<FeatureCache>,
+    bufs: BatchBuffers,
+}
+
 /// Train-stage input adaptor for one epoch: receives possibly out-of-order
 /// prepared batches and yields exactly `remaining` of them in epoch order,
 /// tracking starvation time and the reorder window. Bounded by count (not
-/// channel close) because the channels outlive the epoch.
+/// channel close) because the channels outlive the epoch. The reorder
+/// window itself is caller-owned and reused across epochs — a ring of
+/// slots indexed by distance from the next in-order batch, replacing the
+/// node-per-batch `BTreeMap` the hot path used to allocate into.
 struct EpochReorder<'a> {
     source: &'a Bounded<StagedBatch>,
-    pending: BTreeMap<usize, StagedBatch>,
+    window: &'a mut VecDeque<Option<StagedBatch>>,
     next_index: usize,
     remaining: usize,
+    live: usize,
     wait: Duration,
     peak: usize,
 }
 
 impl<'a> EpochReorder<'a> {
-    fn new(source: &'a Bounded<StagedBatch>, total: usize) -> Self {
+    fn new(
+        source: &'a Bounded<StagedBatch>,
+        total: usize,
+        window: &'a mut VecDeque<Option<StagedBatch>>,
+    ) -> Self {
+        window.clear(); // keeps capacity: steady-state epochs never regrow it
         Self {
             source,
-            pending: BTreeMap::new(),
+            window,
             next_index: 0,
             remaining: total,
+            live: 0,
             wait: Duration::ZERO,
             peak: 0,
         }
@@ -286,9 +350,11 @@ impl Iterator for EpochReorder<'_> {
             return None;
         }
         loop {
-            if let Some(item) = self.pending.remove(&self.next_index) {
+            if matches!(self.window.front(), Some(Some(_))) {
+                let item = self.window.pop_front().flatten().unwrap();
                 self.next_index += 1;
                 self.remaining -= 1;
+                self.live -= 1;
                 return Some(item);
             }
             let t0 = Instant::now();
@@ -296,8 +362,13 @@ impl Iterator for EpochReorder<'_> {
             self.wait += t0.elapsed();
             match received {
                 Some(item) => {
-                    self.pending.insert(item.index, item);
-                    self.peak = self.peak.max(self.pending.len());
+                    let offset = item.index - self.next_index;
+                    while self.window.len() <= offset {
+                        self.window.push_back(None);
+                    }
+                    self.window[offset] = Some(item);
+                    self.live += 1;
+                    self.peak = self.peak.max(self.live);
                 }
                 None => return None,
             }
@@ -375,6 +446,15 @@ pub struct EngineConfig {
     /// is bit-identical). `0` means auto: one shard per available core.
     /// `1` keeps the pre-sharding serial behaviour.
     pub refresh_workers: usize,
+    /// Capacity of the train→sample buffer return channel: how many spent
+    /// [`BatchBuffers`] bundles the session keeps circulating. `0` means
+    /// auto — enough to hold every bundle that can be in flight at once
+    /// (three staging channels plus one per stage worker and reorder
+    /// slack), so the end-of-epoch drain never overflows the pool and
+    /// drops a grown bundle's capacity. Any value (even `1`) is
+    /// bit-identical: a drained pool just means the sampler allocates
+    /// fresh, exactly like the cold-start path.
+    pub pool_batches: usize,
 }
 
 impl EngineConfig {
@@ -385,6 +465,23 @@ impl EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
                 .min(8),
+            n => n,
+        }
+    }
+
+    /// Resolves [`Self::pool_batches`]'s auto (`0`) setting. The auto size
+    /// must cover the session's maximum in-flight bundle count — if the
+    /// pool can overflow during the end-of-epoch drain, `try_send` drops a
+    /// warmed-up bundle and the next epoch re-grows a fresh one from zero,
+    /// leaving steady-state allocation churn that never converges.
+    pub fn effective_pool_batches(&self) -> usize {
+        match self.pool_batches {
+            0 => {
+                3 * self.pipeline.channel_depth
+                    + self.pipeline.sampler_threads
+                    + self.pipeline.gather_threads
+                    + 10
+            }
             n => n,
         }
     }
@@ -399,6 +496,7 @@ impl Default for EngineConfig {
             occupancy_ewma_alpha: 0.4,
             split_hysteresis: 0.05,
             refresh_workers: 0,
+            pool_batches: 0,
         }
     }
 }
@@ -434,6 +532,11 @@ pub struct EpochRun {
     /// measurement — the signal the planner actually sees. Equals the raw
     /// measurement when the adaptive split is off.
     pub smoothed_occupancy: f64,
+    /// Heap allocations attributed per stage during this epoch's training
+    /// window (gate open → last batch trained; evaluation excluded). All
+    /// zero unless a [`neutron_tensor::alloc::CountingAllocator`] is
+    /// installed and enabled — see `BENCH_engine.json`'s `allocs_per_epoch`.
+    pub allocs: AllocSnapshot,
 }
 
 /// What a whole session produced.
@@ -515,10 +618,14 @@ impl TrainingEngine {
         };
 
         let gate = EpochGate::new();
-        let sampled: Bounded<(usize, Vec<neutron_sample::Block>, Arc<FeatureCache>)> =
-            Bounded::new(pcfg.channel_depth);
+        let sampled: Bounded<SampledItem> = Bounded::new(pcfg.channel_depth);
         let prepared: Bounded<StagedBatch> = Bounded::new(pcfg.channel_depth);
         let ready: Bounded<StagedBatch> = Bounded::new(pcfg.channel_depth);
+        // The return path: spent per-batch buffer bundles flow train→sample
+        // against the forward channels, making steady-state epochs (near)
+        // allocation-free. Both ends are non-blocking (`try_*`): an empty
+        // pool allocates fresh, a full pool drops the surplus bundle.
+        let pool: Bounded<BatchBuffers> = Bounded::new(self.config.effective_pool_batches());
         let tasks: Bounded<RefreshTask> = Bounded::new(1);
         let outputs: Bounded<RefreshOutput> = Bounded::new(1);
         let live_samplers = AtomicUsize::new(pcfg.sampler_threads);
@@ -543,6 +650,7 @@ impl TrainingEngine {
                 sampled.close();
                 prepared.close();
                 ready.close();
+                pool.close();
                 tasks.close();
                 outputs.close();
             });
@@ -555,7 +663,8 @@ impl TrainingEngine {
                             sampled.close();
                         }
                     });
-                    let mut scratch = SamplerScratch::new();
+                    alloc::set_stage(Stage::Sample);
+                    let mut builder = BlockBuilder::new();
                     let mut seen = 0u64;
                     while let Some(job) = gate.wait_past(seen) {
                         seen = job.generation;
@@ -566,14 +675,26 @@ impl TrainingEngine {
                                 break;
                             }
                             let t0 = Instant::now();
-                            let blocks = sampler.sample_batch_with_scratch(
+                            // Feed the builder a recycled bundle's block
+                            // capacity (if one is back from the train
+                            // stage), then sample into it. Identical RNG
+                            // stream and results either way.
+                            let mut bufs = pool.try_recv().unwrap_or_default();
+                            bufs.donate_to(&mut builder);
+                            let blocks = sampler.sample_batch_pooled(
                                 &dataset.csr,
-                                &job.batches[i],
+                                job.batches.batch(i),
                                 batch_sample_seed(config_seed, job.epoch, i),
-                                &mut scratch,
+                                &mut builder,
                             );
                             sample_busy.add(t0);
-                            if !sampled.send((i, blocks, Arc::clone(&job.cache))) {
+                            let item = SampledItem {
+                                index: i,
+                                blocks,
+                                cache: Arc::clone(&job.cache),
+                                bufs,
+                            };
+                            if !sampled.send(item) {
                                 return;
                             }
                         }
@@ -587,16 +708,27 @@ impl TrainingEngine {
                             prepared.close();
                         }
                     });
-                    while let Some((index, blocks, cache)) = sampled.recv() {
+                    alloc::set_stage(Stage::Gather);
+                    while let Some(item) = sampled.recv() {
+                        let SampledItem {
+                            index,
+                            blocks,
+                            cache,
+                            mut bufs,
+                        } = item;
                         let t0 = Instant::now();
                         // Cache-keyed gather: probe the epoch's cache
-                        // snapshot and host-gather only the misses.
-                        let features = GatheredFeatures::gather(&dataset, &blocks[0], &cache);
+                        // snapshot and host-gather only the misses, drawing
+                        // position/miss buffers from the recycled bundle.
+                        let features = GatheredFeatures::gather_pooled(
+                            &dataset, &blocks[0], &cache, &mut bufs,
+                        );
                         gather_busy.add(t0);
                         if !prepared.send(StagedBatch {
                             index,
                             blocks,
                             features,
+                            bufs,
                         }) {
                             break;
                         }
@@ -605,6 +737,7 @@ impl TrainingEngine {
             }
             scope.spawn(|| {
                 let _liveness = Defer(|| ready.close());
+                alloc::set_stage(Stage::Transfer);
                 while let Some(batch) = prepared.recv() {
                     let t0 = Instant::now();
                     transfer_stage(pcfg, &batch, &h2d_bytes);
@@ -616,6 +749,7 @@ impl TrainingEngine {
             });
             scope.spawn(|| {
                 let _liveness = Defer(|| outputs.close());
+                alloc::set_stage(Stage::Refresh);
                 let shard_workers = self.config.effective_refresh_workers();
                 let mut scratch = SamplerScratch::new();
                 while let Some(task) = tasks.recv() {
@@ -649,9 +783,23 @@ impl TrainingEngine {
             let mut epoch_cache: Arc<FeatureCache> = Arc::new(FeatureCache::empty());
             let mut smoothed_occupancy: Option<f64> = None;
             let mut split_installed = false;
+            // Session-lifetime hot-path state: the train thread's stage tag,
+            // the reused reorder window, and the recycled epoch-batch Arcs.
+            // `prev`/`spare` lag the recycling by one epoch because the gate
+            // holds the current job (and its Arc) until the next `open`;
+            // the epoch-before-last is guaranteed unreferenced by then.
+            let caller_stage = alloc::set_stage(Stage::Train);
+            let mut reorder_window: VecDeque<Option<StagedBatch>> = VecDeque::new();
+            let mut spare_batches: Option<Arc<EpochBatches>> = None;
+            let mut prev_batches: Option<Arc<EpochBatches>> = None;
             for e in 0..num_epochs {
                 let epoch = first_epoch + e;
-                let batches = Arc::new(trainer.epoch_batches(epoch));
+                let mut epoch_ids = spare_batches
+                    .take()
+                    .and_then(|arc| Arc::try_unwrap(arc).ok())
+                    .unwrap_or_default();
+                trainer.fill_epoch_batches(epoch, &mut epoch_ids);
+                let batches = Arc::new(epoch_ids);
                 let total = batches.len();
                 let before = (
                     sample_busy.seconds(),
@@ -662,12 +810,13 @@ impl TrainingEngine {
                 );
                 let refresh_cpu_fraction = trainer.refresh_cpu_fraction();
                 let collect_wait_before = backend.wait;
+                let alloc_before = alloc::snapshot();
 
                 let wall = Instant::now();
                 gate.open(EpochJob {
                     generation: e as u64 + 1,
                     epoch,
-                    batches,
+                    batches: Arc::clone(&batches),
                     next: Arc::new(AtomicUsize::new(0)),
                     cache: Arc::clone(&epoch_cache),
                 });
@@ -676,7 +825,7 @@ impl TrainingEngine {
                 // Device-side feature assembly (cache rows + shipped miss
                 // rows) happens here, after the transfer stage — hits never
                 // cross the simulated link.
-                let mut reorder = EpochReorder::new(&ready, total);
+                let mut reorder = EpochReorder::new(&ready, total, &mut reorder_window);
                 let mut cache_hits = 0u64;
                 let mut cache_misses = 0u64;
                 let stats = {
@@ -686,7 +835,17 @@ impl TrainingEngine {
                         cache_misses += staged.features.num_misses() as u64;
                         staged.into_prepared(&assembly_cache)
                     });
-                    trainer.train_batches_with(feed, &mut backend)
+                    // After each batch trains, dismantle it into its buffer
+                    // bundle and push that down the return channel. Purely
+                    // a capacity transfer — the batch's numbers are already
+                    // folded into the model, so recycling cannot perturb
+                    // results at any pool size.
+                    trainer.train_batches_recycling(feed, &mut backend, |mut item| {
+                        let mut bufs = std::mem::take(&mut item.scrap);
+                        bufs.put_f32(std::mem::take(&mut item.features).into_vec());
+                        bufs.recycle_blocks(std::mem::take(&mut item.blocks));
+                        let _ = pool.try_send(bufs);
+                    })
                 };
                 let epoch_seconds = wall.elapsed().as_secs_f64();
                 // Leftover-batch guard: train_batches_with consumes every
@@ -696,9 +855,15 @@ impl TrainingEngine {
                 // the next epoch's reorderer (they would alias its indices
                 // and be trained on silently). Drain them here.
                 while reorder.next().is_some() {}
+                // Close the per-epoch allocation window before evaluation:
+                // eval is inference, and its allocations are tagged `Other`
+                // so they can never masquerade as hot-path staging churn.
+                let allocs = alloc::snapshot().since(&alloc_before);
 
                 let t_eval = Instant::now();
+                let pre_eval_stage = alloc::set_stage(Stage::Other);
                 let observation = trainer.observe_epoch(stats);
+                alloc::set_stage(pre_eval_stage);
                 let eval_seconds = t_eval.elapsed().as_secs_f64();
                 // Starvation = blocked on upstream batches + blocked on the
                 // refresh worker at super-batch boundaries (see
@@ -770,11 +935,15 @@ impl TrainingEngine {
                     eval_seconds,
                     cache_vertices,
                     smoothed_occupancy: smoothed_this,
+                    allocs,
                 });
+                spare_batches = prev_batches.take();
+                prev_batches = Some(batches);
             }
             // Resolve any refresh still on the worker so the trainer can
             // outlive this session (the rows publish at a later boundary).
             trainer.settle_refresh(&mut backend);
+            alloc::set_stage(caller_stage);
         });
 
         SessionReport {
@@ -827,6 +996,23 @@ mod tests {
     }
 
     #[test]
+    fn try_ops_never_block_and_bounce_at_capacity_or_close() {
+        let ch: Bounded<u32> = Bounded::new(2);
+        assert_eq!(ch.try_recv(), None, "empty channel yields nothing");
+        assert_eq!(ch.try_send(1), None);
+        assert_eq!(ch.try_send(2), None);
+        assert_eq!(ch.try_send(3), Some(3), "full channel bounces the item");
+        assert_eq!(ch.try_recv(), Some(2), "try_recv is LIFO: hottest first");
+        assert_eq!(ch.try_send(3), None, "recv made room");
+        ch.close();
+        assert_eq!(ch.try_send(4), Some(4), "closed channel bounces");
+        // A closed channel still drains — the pool's teardown path.
+        assert_eq!(ch.try_recv(), Some(3));
+        assert_eq!(ch.try_recv(), Some(1));
+        assert_eq!(ch.try_recv(), None);
+    }
+
+    #[test]
     fn epoch_reorder_restores_order_and_stops_at_count() {
         let ch: Bounded<StagedBatch> = Bounded::new(8);
         for index in [2usize, 0, 1, 3] {
@@ -834,11 +1020,17 @@ mod tests {
                 index,
                 blocks: Vec::new(),
                 features: GatheredFeatures::dense(Matrix::zeros(1, 1)),
+                bufs: BatchBuffers::new(),
             });
         }
         // Note: not closed — the channel outlives epochs in a session.
-        let order: Vec<usize> = EpochReorder::new(&ch, 4).map(|b| b.index).collect();
+        let mut window = VecDeque::new();
+        let mut reorder = EpochReorder::new(&ch, 4, &mut window);
+        let order: Vec<usize> = (&mut reorder).map(|b| b.index).collect();
+        let peak = reorder.peak;
         assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(peak, 2, "2 was buffered while 0 then 1 arrived");
+        assert!(window.is_empty(), "reused window drains with the epoch");
     }
 
     #[test]
@@ -860,7 +1052,7 @@ mod tests {
             gate.open(EpochJob {
                 generation,
                 epoch,
-                batches: Arc::new(Vec::new()),
+                batches: Arc::new(EpochBatches::default()),
                 next: Arc::new(AtomicUsize::new(0)),
                 cache: Arc::new(FeatureCache::empty()),
             });

@@ -17,6 +17,7 @@
 //! host rows), so training results are independent of the cache budget —
 //! only the byte accounting changes.
 
+use crate::pool::BatchBuffers;
 use crate::trainer::PreparedBatch;
 use neutron_cache::FeatureCache;
 use neutron_graph::{Dataset, VertexId};
@@ -43,10 +44,35 @@ impl GatheredFeatures {
 
     /// [`Self::gather`] against an explicit host feature matrix.
     pub fn gather_from(features: &Matrix, bottom: &Block, cache: &FeatureCache) -> Self {
-        let (hit_pos, miss_pos) = bottom.partition_src(|v| cache.contains(v));
-        let src = bottom.src();
-        let idx: Vec<usize> = miss_pos.iter().map(|&p| src[p as usize] as usize).collect();
-        let miss = features.gather_rows(&idx);
+        Self::gather_from_pooled(features, bottom, cache, &mut BatchBuffers::new())
+    }
+
+    /// [`Self::gather`] drawing its position lists and miss buffer from a
+    /// recycled [`BatchBuffers`] bundle — the engine's steady-state path.
+    pub fn gather_pooled(
+        dataset: &Dataset,
+        bottom: &Block,
+        cache: &FeatureCache,
+        bufs: &mut BatchBuffers,
+    ) -> Self {
+        Self::gather_from_pooled(dataset.features(), bottom, cache, bufs)
+    }
+
+    /// The single gather implementation: the allocating entry points above
+    /// just pass an empty bundle. The mapped row gather reads miss vertex
+    /// ids straight out of `miss_pos` — the per-batch widened index vector
+    /// the old path collected is gone.
+    pub fn gather_from_pooled(
+        features: &Matrix,
+        bottom: &Block,
+        cache: &FeatureCache,
+        bufs: &mut BatchBuffers,
+    ) -> Self {
+        let mut hit_pos = bufs.take_pos();
+        let mut miss_pos = bufs.take_pos();
+        bottom.partition_src_into(|v| cache.contains(v), &mut hit_pos, &mut miss_pos);
+        let mut miss = bufs.take_matrix();
+        features.gather_rows_mapped_into(bottom.src(), &miss_pos, &mut miss);
         Self {
             miss,
             miss_pos,
@@ -90,25 +116,49 @@ impl GatheredFeatures {
     /// zero-filling a byte it is about to overwrite (the same measured win
     /// as the chunked row-gather kernel).
     pub fn assemble(self, src: &[VertexId], cache: &FeatureCache) -> Matrix {
-        if self.hit_pos.is_empty() {
+        self.assemble_pooled(src, cache, &mut BatchBuffers::new())
+    }
+
+    /// [`Self::assemble`] drawing the output buffer from — and returning
+    /// the spent position/miss buffers to — a recycled bundle. Rows are
+    /// appended in exactly the same order as the allocating path, so the
+    /// result is bit-identical.
+    pub fn assemble_pooled(
+        self,
+        src: &[VertexId],
+        cache: &FeatureCache,
+        bufs: &mut BatchBuffers,
+    ) -> Matrix {
+        let GatheredFeatures {
+            miss,
+            miss_pos,
+            hit_pos,
+        } = self;
+        if hit_pos.is_empty() {
             // All-miss fast path (empty cache): the miss matrix already is
             // the full gather, in source order.
-            debug_assert_eq!(self.miss_pos.len(), src.len());
-            return self.miss;
+            debug_assert_eq!(miss_pos.len(), src.len());
+            bufs.put_pos(miss_pos);
+            bufs.put_pos(hit_pos);
+            return miss;
         }
         let t0 = neutron_tensor::timing::start();
-        let dim = self.miss.cols();
-        let mut data = Vec::with_capacity(src.len() * dim);
+        let dim = miss.cols();
+        let mut data = bufs.take_f32();
+        data.reserve(src.len() * dim);
         let mut mi = 0;
         for (p, &vertex) in src.iter().enumerate() {
-            if self.miss_pos.get(mi) == Some(&(p as u32)) {
-                data.extend_from_slice(self.miss.row(mi));
+            if miss_pos.get(mi) == Some(&(p as u32)) {
+                data.extend_from_slice(miss.row(mi));
                 mi += 1;
             } else {
                 data.extend_from_slice(cache.row(vertex));
             }
         }
         let out = Matrix::from_vec(src.len(), dim, data);
+        bufs.put_f32(miss.into_vec());
+        bufs.put_pos(miss_pos);
+        bufs.put_pos(hit_pos);
         neutron_tensor::timing::stop(neutron_tensor::timing::Kernel::Gather, t0);
         out
     }
@@ -126,6 +176,10 @@ pub struct StagedBatch {
     pub blocks: Vec<Block>,
     /// The split gather of `blocks[0].src()`.
     pub features: GatheredFeatures,
+    /// Spare recycled capacity riding along for assembly; spent buffers are
+    /// folded back in so the train stage can return the whole bundle to the
+    /// pool. Empty (allocating behaviour) outside the engine.
+    pub bufs: BatchBuffers,
 }
 
 impl StagedBatch {
@@ -142,6 +196,7 @@ impl StagedBatch {
             index,
             blocks,
             features,
+            bufs: BatchBuffers::new(),
         }
     }
 
@@ -154,14 +209,22 @@ impl StagedBatch {
     }
 
     /// Device-side assembly into the dense [`PreparedBatch`] the trainer
-    /// consumes.
+    /// consumes. The ride-along buffer bundle supplies the assembly buffer
+    /// and absorbs the spent gather buffers, then moves into the prepared
+    /// batch's `scrap` so the post-train recycler can return everything.
     pub fn into_prepared(self, cache: &FeatureCache) -> PreparedBatch {
-        let src = self.blocks[0].src();
-        let features = self.features.assemble(src, cache);
-        PreparedBatch {
-            index: self.index,
-            blocks: self.blocks,
+        let StagedBatch {
+            index,
+            blocks,
             features,
+            mut bufs,
+        } = self;
+        let features = features.assemble_pooled(blocks[0].src(), cache, &mut bufs);
+        PreparedBatch {
+            index,
+            blocks,
+            features,
+            scrap: bufs,
         }
     }
 }
@@ -225,6 +288,33 @@ mod tests {
     }
 
     #[test]
+    fn pooled_gather_and_assemble_match_allocating_path_with_dirty_buffers() {
+        let host = features(12, 3);
+        let b = block(vec![7, 2, 9, 4, 11]);
+        let cache = FeatureCache::for_vertices(&[2, 4], 12, host.as_slice(), 3);
+
+        let mut bufs = BatchBuffers::new();
+        // Poison the bundle with stale capacity of the wrong shapes.
+        bufs.put_pos(vec![3; 9]);
+        bufs.put_pos(vec![1]);
+        bufs.put_f32(vec![55.5; 2]);
+        bufs.put_f32(vec![0.25; 31]);
+
+        let want = GatheredFeatures::gather_from(&host, &b, &cache);
+        let got = GatheredFeatures::gather_from_pooled(&host, &b, &cache, &mut bufs);
+        assert_eq!(got.num_hits(), want.num_hits());
+        assert_eq!(got.num_misses(), want.num_misses());
+        assert_eq!(got.h2d_feature_bytes(), want.h2d_feature_bytes());
+
+        let want_m = want.assemble(b.src(), &cache);
+        let got_m = got.assemble_pooled(b.src(), &cache, &mut bufs);
+        assert_eq!(got_m.as_slice(), want_m.as_slice());
+        // Assembly folded its spent buffers back into the bundle.
+        assert_eq!(bufs.pos_bufs.len(), 2);
+        assert!(!bufs.f32_bufs.is_empty());
+    }
+
+    #[test]
     fn staged_batch_charges_structure_bytes_on_top_of_misses() {
         let host = features(8, 2);
         // One real edge: dst 1 aggregates from src position 1 (vertex 6).
@@ -235,6 +325,7 @@ mod tests {
             index: 0,
             blocks: vec![b],
             features,
+            bufs: BatchBuffers::new(),
         };
         // miss = vertex 1 only (6 is cached): 1 row * 2 dims * 4 B + 8 B edge.
         assert_eq!(staged.h2d_bytes(), 8 + 8);

@@ -29,6 +29,7 @@ pub mod gather;
 pub mod neutronorch;
 pub mod orchestrator;
 pub mod pipeline;
+pub mod pool;
 pub mod profile;
 pub mod refresh;
 pub mod report;
@@ -41,6 +42,7 @@ pub use gather::{GatheredFeatures, StagedBatch};
 pub use neutronorch::{NeutronOrch, NeutronOrchConfig};
 pub use orchestrator::Orchestrator;
 pub use pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
+pub use pool::BatchBuffers;
 pub use profile::{WorkloadConfig, WorkloadProfile};
 pub use refresh::{InlineRefresh, RefreshBackend, RefreshOutput, RefreshTask};
 pub use report::EpochReport;

@@ -24,8 +24,10 @@
 
 use crate::engine::{transfer_stage, BusyNs, EngineConfig, TrainingEngine};
 use crate::gather::{GatheredFeatures, StagedBatch};
+use crate::pool::BatchBuffers;
 use crate::trainer::{batch_sample_seed, ConvergenceTrainer, EpochObservation};
 use neutron_cache::FeatureCache;
+use neutron_tensor::alloc::{self, Stage};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -185,11 +187,14 @@ impl PipelineExecutor {
         // The cache-less baseline runs the *same* cache-keyed gather,
         // transfer costing and device-side assembly as the engine, against
         // an empty cache (all-miss). One shared path means the accounting
-        // can never drift between executors.
+        // can never drift between executors. Per-stage alloc tags give the
+        // honest allocating "before" numbers the pooled engine is compared
+        // against in `BENCH_engine.json`.
         let empty_cache = FeatureCache::empty();
         let mut gathered_vertices = 0u64;
         let wall = Instant::now();
         let items = batches.iter().enumerate().map(|(i, batch)| {
+            alloc::set_stage(Stage::Sample);
             let t0 = Instant::now();
             let blocks = sampler.sample_batch(
                 &dataset.csr,
@@ -197,6 +202,7 @@ impl PipelineExecutor {
                 batch_sample_seed(config_seed, epoch, i),
             );
             sample_busy.add(t0);
+            alloc::set_stage(Stage::Gather);
             let t1 = Instant::now();
             let features = GatheredFeatures::gather(&dataset, &blocks[0], &empty_cache);
             gather_busy.add(t1);
@@ -205,13 +211,18 @@ impl PipelineExecutor {
                 index: i,
                 blocks,
                 features,
+                bufs: BatchBuffers::new(),
             };
+            alloc::set_stage(Stage::Transfer);
             let t2 = Instant::now();
             transfer_stage(&self.config, &item, &h2d_bytes);
             transfer_busy.add(t2);
+            alloc::set_stage(Stage::Train);
             item.into_prepared(&empty_cache)
         });
+        let prev_stage = alloc::set_stage(Stage::Train);
         let stats = trainer.train_batches(items);
+        alloc::set_stage(prev_stage);
 
         // Same timed region as `run_epoch`: stage graph only, no eval.
         let epoch_seconds = wall.elapsed().as_secs_f64();

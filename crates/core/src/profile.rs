@@ -162,7 +162,7 @@ impl WorkloadProfile {
         let mut one_hop = Vec::with_capacity(profiled);
         for (i, blocks) in sampled_blocks.iter().enumerate() {
             per_batch.push(SampleStats::measure(blocks, Some(&hot)));
-            let seeds = &epoch0[i];
+            let seeds = epoch0.batch(i);
             let mut uniq: HashSet<VertexId> = seeds.iter().copied().collect();
             let mut edges = 0usize;
             for &s in seeds {

@@ -5,6 +5,7 @@
 //! bottom layer and gradients through them are actually cut, so accuracy
 //! differences between policies are measured, not modelled.
 
+use crate::pool::BatchBuffers;
 use crate::refresh::{CpuPart, InlineRefresh, RefreshBackend, RefreshOutput, RefreshTask};
 use neutron_cache::EmbeddingStore;
 use neutron_graph::{Dataset, VertexId};
@@ -13,7 +14,9 @@ use neutron_nn::metrics::accuracy;
 use neutron_nn::model::{GnnModel, ModelConfig};
 use neutron_nn::optim::{Optimizer, Sgd};
 use neutron_nn::LayerKind;
-use neutron_sample::{BatchIterator, Block, Fanout, HotSet, NeighborSampler, PreSampler};
+use neutron_sample::{
+    BatchIterator, Block, EpochBatches, Fanout, HotSet, NeighborSampler, PreSampler,
+};
 use neutron_tensor::Matrix;
 use std::sync::Arc;
 
@@ -112,6 +115,11 @@ pub struct PreparedBatch {
     pub blocks: Vec<Block>,
     /// Raw features of `blocks[0].src()`, one row per source vertex.
     pub features: Matrix,
+    /// Spent staging buffers that accumulated while preparing this batch;
+    /// the engine's recycler folds the blocks and feature buffer in after
+    /// training and returns the bundle to the pool. Empty on the allocating
+    /// (sequential) path.
+    pub scrap: BatchBuffers,
 }
 
 /// What one epoch's batch loop produced, before test-set evaluation —
@@ -235,17 +243,23 @@ impl ConvergenceTrainer {
     }
 
     /// The shuffled batches of `epoch`, in train order.
-    pub fn epoch_batches(&self, epoch: usize) -> Vec<Vec<VertexId>> {
+    pub fn epoch_batches(&self, epoch: usize) -> EpochBatches {
         self.batches.epoch_batches(epoch)
+    }
+
+    /// [`Self::epoch_batches`] into a recycled buffer (see
+    /// [`BatchIterator::fill_epoch_batches`]).
+    pub fn fill_epoch_batches(&self, epoch: usize, out: &mut EpochBatches) {
+        self.batches.fill_epoch_batches(epoch, out);
     }
 
     /// The gather stage: collects the raw feature rows of `src` — the one
     /// place the "Gather (FC)" work is implemented, shared by the
     /// sequential trainer, the pipelined executor's gather workers, and
-    /// the hot-embedding refresh.
+    /// the hot-embedding refresh. Gathers by the sampler's `u32` ids
+    /// directly; no widened index vector is built.
     pub fn gather_features(dataset: &Dataset, src: &[VertexId]) -> Matrix {
-        let idx: Vec<usize> = src.iter().map(|&v| v as usize).collect();
-        dataset.features().gather_rows(&idx)
+        dataset.features().gather_rows_u32(src)
     }
 
     /// Runs the CPU sample + gather stages for one batch. Pure with respect
@@ -266,6 +280,7 @@ impl ConvergenceTrainer {
             index,
             blocks,
             features,
+            scrap: BatchBuffers::new(),
         }
     }
 
@@ -328,6 +343,23 @@ impl ConvergenceTrainer {
     where
         I: IntoIterator<Item = PreparedBatch>,
     {
+        self.train_batches_recycling(prepared, backend, |_| {})
+    }
+
+    /// [`Self::train_batches_with`] handing each batch to `recycle` once it
+    /// has trained — the hook the engine uses to dismantle spent batches
+    /// into the buffer pool. Runs strictly after the batch's optimizer step
+    /// and version bump, so recycling can never affect numerics.
+    pub fn train_batches_recycling<I, R>(
+        &mut self,
+        prepared: I,
+        backend: &mut dyn RefreshBackend,
+        mut recycle: R,
+    ) -> BatchLoopStats
+    where
+        I: IntoIterator<Item = PreparedBatch>,
+        R: FnMut(PreparedBatch),
+    {
         let mut losses = Vec::new();
         let super_n = match &self.config.policy {
             ReusePolicy::HotnessAware { super_batch, .. } => *super_batch,
@@ -352,6 +384,7 @@ impl ConvergenceTrainer {
             }
             losses.push(self.train_prepared(&item.blocks, &item.features));
             self.version += 1;
+            recycle(item);
         }
         if let Some(snap) = &snapshot {
             max_delta = max_delta.max(self.model.max_weight_delta(snap));

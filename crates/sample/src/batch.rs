@@ -42,15 +42,68 @@ impl BatchIterator {
     }
 
     /// Returns the shuffled batches for `epoch`.
-    pub fn epoch_batches(&self, epoch: usize) -> Vec<Vec<VertexId>> {
-        let mut ids = self.train.clone();
+    pub fn epoch_batches(&self, epoch: usize) -> EpochBatches {
+        let mut out = EpochBatches::default();
+        self.fill_epoch_batches(epoch, &mut out);
+        out
+    }
+
+    /// Shuffles `epoch`'s batches into a recycled [`EpochBatches`]: one
+    /// flat id buffer whose capacity survives across epochs, with batches
+    /// handed out as borrowed chunks. This replaces the old full-clone +
+    /// per-chunk `to_vec` (one allocation per batch per epoch) with zero
+    /// steady-state allocations; the shuffle itself is unchanged, so batch
+    /// contents are bit-identical.
+    pub fn fill_epoch_batches(&self, epoch: usize, out: &mut EpochBatches) {
+        out.ids.clear();
+        out.ids.extend_from_slice(&self.train);
+        out.batch_size = self.batch_size;
+        let ids = &mut out.ids;
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         for i in (1..ids.len()).rev() {
             let j = rng.random_range(0..=i);
             ids.swap(i, j);
         }
-        ids.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+/// One epoch's shuffled training order: a flat vertex buffer sliced into
+/// `batch_size` chunks on demand. Produced by
+/// [`BatchIterator::fill_epoch_batches`] and reused epoch over epoch.
+#[derive(Clone, Debug, Default)]
+pub struct EpochBatches {
+    ids: Vec<VertexId>,
+    batch_size: usize,
+}
+
+impl EpochBatches {
+    /// Number of batches (the last one may be short).
+    pub fn len(&self) -> usize {
+        if self.batch_size == 0 {
+            0
+        } else {
+            self.ids.len().div_ceil(self.batch_size)
+        }
+    }
+
+    /// True when the epoch holds no batches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The seed vertices of batch `i`.
+    pub fn batch(&self, i: usize) -> &[VertexId] {
+        let lo = i * self.batch_size;
+        let hi = (lo + self.batch_size).min(self.ids.len());
+        &self.ids[lo..hi]
+    }
+
+    /// Iterates the batches in train order.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
+        // `max(1)` keeps the default (empty) value panic-free; it yields
+        // nothing either way.
+        self.ids.chunks(self.batch_size.max(1))
     }
 }
 
@@ -63,10 +116,12 @@ mod tests {
         let it = BatchIterator::new((0..103).collect(), 10, 1);
         assert_eq!(it.batches_per_epoch(), 11);
         let batches = it.epoch_batches(0);
-        let mut all: Vec<u32> = batches.concat();
+        assert_eq!(batches.len(), 11);
+        let mut all: Vec<u32> = batches.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..103).collect::<Vec<_>>());
-        assert_eq!(batches.last().unwrap().len(), 3);
+        assert_eq!(batches.batch(10).len(), 3);
+        assert_eq!(batches.iter().last().unwrap(), batches.batch(10));
     }
 
     #[test]
@@ -74,9 +129,23 @@ mod tests {
         let it = BatchIterator::new((0..50).collect(), 50, 2);
         let e0 = it.epoch_batches(0);
         let e1 = it.epoch_batches(1);
-        assert_ne!(e0[0], e1[0], "different epochs should shuffle differently");
-        let e0_again = it.epoch_batches(0);
-        assert_eq!(e0[0], e0_again[0], "same epoch must reproduce");
+        assert_ne!(
+            e0.batch(0),
+            e1.batch(0),
+            "different epochs should shuffle differently"
+        );
+        // Refilling a recycled buffer must reproduce the epoch exactly.
+        let mut recycled = e1;
+        it.fill_epoch_batches(0, &mut recycled);
+        assert_eq!(e0.batch(0), recycled.batch(0), "same epoch must reproduce");
+    }
+
+    #[test]
+    fn default_epoch_batches_is_empty() {
+        let eb = EpochBatches::default();
+        assert!(eb.is_empty());
+        assert_eq!(eb.len(), 0);
+        assert_eq!(eb.iter().count(), 0);
     }
 
     #[test]

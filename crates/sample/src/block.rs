@@ -91,9 +91,25 @@ impl Block {
     /// local index per distinct vertex), so a cache probe can partition it
     /// directly — no second dedup pass — and the two lists together cover
     /// every source position exactly once, in ascending order.
-    pub fn partition_src<F: FnMut(VertexId) -> bool>(&self, mut pred: F) -> (Vec<u32>, Vec<u32>) {
+    pub fn partition_src<F: FnMut(VertexId) -> bool>(&self, pred: F) -> (Vec<u32>, Vec<u32>) {
         let mut matching = Vec::new();
-        let mut rest = Vec::with_capacity(self.src.len());
+        let mut rest = Vec::new();
+        self.partition_src_into(pred, &mut matching, &mut rest);
+        (matching, rest)
+    }
+
+    /// [`Self::partition_src`] into caller-owned (recycled) position
+    /// buffers; both are cleared first, so the results are identical to the
+    /// allocating variant.
+    pub fn partition_src_into<F: FnMut(VertexId) -> bool>(
+        &self,
+        mut pred: F,
+        matching: &mut Vec<u32>,
+        rest: &mut Vec<u32>,
+    ) {
+        matching.clear();
+        rest.clear();
+        rest.reserve(self.src.len());
         for (i, &v) in self.src.iter().enumerate() {
             if pred(v) {
                 matching.push(i as u32);
@@ -101,7 +117,17 @@ impl Block {
                 rest.push(i as u32);
             }
         }
-        (matching, rest)
+    }
+
+    /// Dismantles the block into its spent buffers so a [`BlockParts`] pool
+    /// can hand the capacity back to the sampler.
+    pub fn into_parts(self) -> BlockParts {
+        BlockParts {
+            dst: self.dst,
+            src: self.src,
+            offsets: self.offsets,
+            indices: self.indices,
+        }
     }
 
     /// Checks internal invariants; used by property tests.
@@ -125,6 +151,21 @@ impl Block {
         }
         Ok(())
     }
+}
+
+/// The four component buffers of a recycled [`Block`], ready to be cleared
+/// and refilled by the next sampling call. Contents are stale garbage;
+/// only the capacity matters.
+#[derive(Clone, Debug, Default)]
+pub struct BlockParts {
+    /// Spent destination-vertex buffer.
+    pub dst: Vec<VertexId>,
+    /// Spent source-vertex buffer.
+    pub src: Vec<VertexId>,
+    /// Spent per-dst offset buffer.
+    pub offsets: Vec<u32>,
+    /// Spent local-index buffer.
+    pub indices: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -169,6 +210,27 @@ mod tests {
         let (all, none) = b.partition_src(|_| true);
         assert_eq!(all, &[0, 1, 2, 3]);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn partition_src_into_matches_allocating_variant_on_dirty_buffers() {
+        let b = sample_block();
+        let (want_hits, want_misses) = b.partition_src(|v| v % 20 == 10);
+        let mut hits = vec![99u32; 7];
+        let mut misses = vec![42u32];
+        b.partition_src_into(|v| v % 20 == 10, &mut hits, &mut misses);
+        assert_eq!(hits, want_hits);
+        assert_eq!(misses, want_misses);
+    }
+
+    #[test]
+    fn into_parts_round_trips_the_buffers() {
+        let b = sample_block();
+        let (dst, src) = (b.dst().to_vec(), b.src().to_vec());
+        let parts = b.into_parts();
+        assert_eq!(parts.dst, dst);
+        assert_eq!(parts.src, src);
+        assert_eq!(parts.offsets.len(), dst.len() + 1);
     }
 
     #[test]

@@ -21,11 +21,11 @@ pub mod neighbor;
 pub mod presample;
 pub mod stats;
 
-pub use batch::BatchIterator;
-pub use block::Block;
+pub use batch::{BatchIterator, EpochBatches};
+pub use block::{Block, BlockParts};
 pub use fanout::Fanout;
 pub use full::{full_blocks, full_one_hop};
 pub use hotness::{HotSet, HotnessRanking};
-pub use neighbor::{NeighborSampler, SamplerScratch};
+pub use neighbor::{BlockBuilder, NeighborSampler, SamplerScratch};
 pub use presample::PreSampler;
 pub use stats::SampleStats;

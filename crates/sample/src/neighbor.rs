@@ -1,6 +1,6 @@
 //! Uniform neighbor sampling (the paper's Algorithm 1, lines 3–7).
 
-use crate::block::Block;
+use crate::block::{Block, BlockParts};
 use crate::fanout::Fanout;
 use neutron_graph::{Csr, VertexId};
 use rand::rngs::StdRng;
@@ -72,6 +72,49 @@ impl SamplerScratch {
     }
 }
 
+/// Everything a long-lived sampler worker reuses across batches: the
+/// [`SamplerScratch`] dedup arrays plus recycled [`Block`] component buffers
+/// and the per-hop working vectors. With a warm builder (and donated parts
+/// from a buffer pool), [`NeighborSampler::sample_batch_pooled`] constructs
+/// its blocks without touching the allocator.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    scratch: SamplerScratch,
+    spare_parts: Vec<BlockParts>,
+    spare_stacks: Vec<Vec<Block>>,
+    picks: Vec<VertexId>,
+    frontier: Vec<VertexId>,
+    chosen: Vec<usize>,
+}
+
+impl BlockBuilder {
+    /// An empty builder; every buffer grows lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Donates a recycled block's spent buffers for a future hop.
+    pub fn donate_parts(&mut self, parts: BlockParts) {
+        self.spare_parts.push(parts);
+    }
+
+    /// Donates a recycled (emptied) block stack for a future batch.
+    pub fn donate_stack(&mut self, mut stack: Vec<Block>) {
+        stack.clear();
+        self.spare_stacks.push(stack);
+    }
+
+    fn take_parts(&mut self) -> BlockParts {
+        self.spare_parts.pop().unwrap_or_default()
+    }
+
+    fn take_stack(&mut self, layers: usize) -> Vec<Block> {
+        let mut stack = self.spare_stacks.pop().unwrap_or_default();
+        stack.reserve(layers);
+        stack
+    }
+}
+
 /// Uniform fanout neighbor sampler.
 ///
 /// For each destination vertex, samples `min(fanout, degree)` distinct
@@ -132,6 +175,46 @@ impl NeighborSampler {
         blocks
     }
 
+    /// [`Self::sample_batch_with_scratch`] over a [`BlockBuilder`]: block
+    /// buffers come from the builder's recycled spares instead of fresh
+    /// allocations, and the per-hop frontier/picks vectors are reused. The
+    /// rng is constructed and consumed in exactly the same order as the
+    /// allocating path, and every buffer is cleared before refilling, so
+    /// the produced blocks are identical — the pooling proptests pin this.
+    pub fn sample_batch_pooled(
+        &self,
+        g: &Csr,
+        seeds: &[VertexId],
+        seed: u64,
+        builder: &mut BlockBuilder,
+    ) -> Vec<Block> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = self.fanout.layers();
+        let mut blocks = builder.take_stack(layers);
+        let mut frontier = std::mem::take(&mut builder.frontier);
+        frontier.clear();
+        frontier.extend_from_slice(seeds);
+        for l in (0..layers).rev() {
+            let fanout = self.fanout.at(l);
+            let parts = builder.take_parts();
+            let BlockBuilder {
+                ref mut scratch,
+                ref mut picks,
+                ref mut chosen,
+                ..
+            } = *builder;
+            let block = one_hop_dedup_into(g, &frontier, fanout, scratch, picks, parts, {
+                |g, v, picks| sample_distinct_neighbors(g, v, fanout, &mut rng, picks, chosen)
+            });
+            frontier.clear();
+            frontier.extend_from_slice(block.src());
+            blocks.push(block);
+        }
+        blocks.reverse();
+        builder.frontier = frontier;
+        blocks
+    }
+
     /// Samples a single hop: one [`Block`] whose dst are `frontier`.
     pub fn sample_one_hop(
         &self,
@@ -156,8 +239,9 @@ impl NeighborSampler {
         rng: &mut StdRng,
         scratch: &mut SamplerScratch,
     ) -> Block {
+        let mut chosen = Vec::with_capacity(fanout);
         one_hop_dedup(g, frontier, fanout, scratch, |g, v, picks| {
-            sample_distinct_neighbors(g, v, fanout, rng, picks)
+            sample_distinct_neighbors(g, v, fanout, rng, picks, &mut chosen)
         })
     }
 
@@ -189,9 +273,10 @@ impl NeighborSampler {
         seed: u64,
         scratch: &mut SamplerScratch,
     ) -> Block {
+        let mut chosen = Vec::with_capacity(fanout);
         one_hop_dedup(g, frontier, fanout, scratch, |g, v, picks| {
             let mut rng = StdRng::seed_from_u64(per_vertex_seed(seed, v));
-            sample_distinct_neighbors(g, v, fanout, &mut rng, picks)
+            sample_distinct_neighbors(g, v, fanout, &mut rng, picks, &mut chosen)
         })
     }
 }
@@ -206,26 +291,64 @@ fn one_hop_dedup<F>(
     frontier: &[VertexId],
     fanout: usize,
     scratch: &mut SamplerScratch,
+    pick: F,
+) -> Block
+where
+    F: FnMut(&Csr, VertexId, &mut Vec<VertexId>),
+{
+    let mut picks: Vec<VertexId> = Vec::with_capacity(fanout);
+    one_hop_dedup_into(
+        g,
+        frontier,
+        fanout,
+        scratch,
+        &mut picks,
+        BlockParts::default(),
+        pick,
+    )
+}
+
+/// [`one_hop_dedup`] refilling recycled buffers: `parts` supplies the spent
+/// dst/src/offsets/indices capacity and `picks` the per-vertex draw buffer.
+/// Every buffer is cleared before use, so the constructed block is
+/// value-identical to the allocating path for the same `pick` stream.
+#[allow(clippy::too_many_arguments)]
+fn one_hop_dedup_into<F>(
+    g: &Csr,
+    frontier: &[VertexId],
+    fanout: usize,
+    scratch: &mut SamplerScratch,
+    picks: &mut Vec<VertexId>,
+    parts: BlockParts,
     mut pick: F,
 ) -> Block
 where
     F: FnMut(&Csr, VertexId, &mut Vec<VertexId>),
 {
-    let dst: Vec<VertexId> = frontier.to_vec();
-    let mut src: Vec<VertexId> = dst.clone();
+    let BlockParts {
+        mut dst,
+        mut src,
+        mut offsets,
+        mut indices,
+    } = parts;
+    dst.clear();
+    dst.extend_from_slice(frontier);
+    src.clear();
+    src.extend_from_slice(frontier);
     src.reserve(dst.len() * fanout);
     scratch.begin(g.num_vertices());
     for (i, &v) in dst.iter().enumerate() {
         scratch.seed_dst(v, i as u32);
     }
-    let mut offsets = Vec::with_capacity(dst.len() + 1);
+    offsets.clear();
+    offsets.reserve(dst.len() + 1);
     offsets.push(0u32);
-    let mut indices = Vec::with_capacity(dst.len() * fanout);
-    let mut picks: Vec<VertexId> = Vec::with_capacity(fanout);
+    indices.clear();
+    indices.reserve(dst.len() * fanout);
     for &v in &dst {
         picks.clear();
-        pick(g, v, &mut picks);
-        for &u in &picks {
+        pick(g, v, picks);
+        for &u in picks.iter() {
             indices.push(scratch.intern(u, &mut src));
         }
         offsets.push(indices.len() as u32);
@@ -252,16 +375,21 @@ fn sample_distinct_neighbors(
     fanout: usize,
     rng: &mut StdRng,
     out: &mut Vec<VertexId>,
+    chosen: &mut Vec<usize>,
 ) {
     let neigh = g.neighbors(v);
     if neigh.len() <= fanout {
         out.extend_from_slice(neigh);
         return;
     }
-    // Floyd's algorithm: k distinct indices from [0, n).
+    // Floyd's algorithm: k distinct indices from [0, n). `chosen` is a
+    // caller-owned scratch so the over-fanout case stays allocation-free
+    // per vertex; reusing it cannot change a draw — the rng stream and the
+    // membership test are identical to a fresh buffer.
     let n = neigh.len();
     let k = fanout;
-    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    chosen.clear();
+    chosen.reserve(k);
     for j in (n - k)..n {
         let t = rng.random_range(0..=j);
         if chosen.contains(&t) {
@@ -270,7 +398,7 @@ fn sample_distinct_neighbors(
             chosen.push(t);
         }
     }
-    out.extend(chosen.into_iter().map(|i| neigh[i]));
+    out.extend(chosen.drain(..).map(|i| neigh[i]));
 }
 
 #[cfg(test)]
@@ -387,6 +515,35 @@ mod tests {
                 assert_eq!(a.src(), b.src(), "seed {seed}");
                 assert_eq!(a.num_edges(), b.num_edges(), "seed {seed}");
             }
+        }
+    }
+
+    #[test]
+    fn pooled_sampling_matches_fresh_path_with_recycled_buffers() {
+        let g = erdos_renyi(200, 5000, 7);
+        let s = NeighborSampler::new(Fanout::new(vec![4, 3]));
+        let mut builder = BlockBuilder::new();
+        for seed in 0..20u64 {
+            let seeds: Vec<VertexId> = (0..10).map(|i| (seed as u32 * 11 + i) % 200).collect();
+            let fresh = s.sample_batch(&g, &seeds, seed);
+            let pooled = s.sample_batch_pooled(&g, &seeds, seed, &mut builder);
+            assert_eq!(fresh.len(), pooled.len());
+            for (a, b) in fresh.iter().zip(&pooled) {
+                assert_eq!(a.dst(), b.dst(), "seed {seed}");
+                assert_eq!(a.src(), b.src(), "seed {seed}");
+                assert_eq!(a.num_edges(), b.num_edges(), "seed {seed}");
+                for i in 0..a.num_dst() {
+                    assert_eq!(a.neighbors_local(i), b.neighbors_local(i), "seed {seed}");
+                }
+                assert!(b.validate().is_ok());
+            }
+            // Recycle everything, dirty, back into the builder — the next
+            // iteration must still match the allocating path exactly.
+            let mut stack = pooled;
+            for block in stack.drain(..) {
+                builder.donate_parts(block.into_parts());
+            }
+            builder.donate_stack(stack);
         }
     }
 

@@ -107,6 +107,37 @@ pub fn gather_rows_into(out: &mut Vec<f32>, src: &[f32], dim: usize, indices: &[
     }
 }
 
+/// [`gather_rows_into`] over `u32` vertex ids — the id width the sampling
+/// layer produces, so callers no longer widen every index into a fresh
+/// `Vec<usize>` before gathering.
+#[inline]
+pub fn gather_rows_u32_into(out: &mut Vec<f32>, src: &[f32], dim: usize, indices: &[u32]) {
+    out.reserve(indices.len() * dim);
+    for &i in indices {
+        let i = i as usize;
+        out.extend_from_slice(&src[i * dim..(i + 1) * dim]);
+    }
+}
+
+/// One-hop indirect row gather: appends `rows[r] = src[ids[positions[r]]]`
+/// to `out`. This fuses the `positions -> ids -> row` mapping the
+/// cache-keyed gather used to materialise as a temporary index vector per
+/// batch; bit-identical to gathering the collected indices.
+#[inline]
+pub fn gather_rows_mapped_into(
+    out: &mut Vec<f32>,
+    src: &[f32],
+    dim: usize,
+    ids: &[u32],
+    positions: &[u32],
+) {
+    out.reserve(positions.len() * dim);
+    for &p in positions {
+        let i = ids[p as usize] as usize;
+        out.extend_from_slice(&src[i * dim..(i + 1) * dim]);
+    }
+}
+
 /// Scatter-add of `src`'s rows into rows `indices[i]` of `out` (row-major,
 /// `dim` columns each). Duplicate destinations accumulate in `indices`
 /// order, exactly like the scalar reference.
@@ -304,6 +335,33 @@ mod tests {
         let mut got = Vec::new();
         gather_rows_into(&mut got, &src, 3, &idx);
         assert_eq!(want, got);
+    }
+
+    #[test]
+    fn u32_and_mapped_gathers_match_the_collected_index_path() {
+        let src = seq(9 * 4);
+        let ids: Vec<u32> = vec![8, 2, 5, 0, 5];
+        let positions: Vec<u32> = vec![4, 0, 2];
+        let widened: Vec<usize> = ids.iter().map(|&v| v as usize).collect();
+        let want = reference::gather_rows(&src, 4, &widened);
+        let mut got = Vec::new();
+        gather_rows_u32_into(&mut got, &src, 4, &ids);
+        assert_eq!(want, got);
+
+        let collected: Vec<usize> = positions
+            .iter()
+            .map(|&p| ids[p as usize] as usize)
+            .collect();
+        let want = reference::gather_rows(&src, 4, &collected);
+        let mut got = vec![7.0f32]; // mapped gather appends after existing content
+        gather_rows_mapped_into(&mut got, &src, 4, &ids, &positions);
+        assert_eq!(got[0], 7.0);
+        assert_eq!(&got[1..], &want[..]);
+
+        let mut empty = Vec::new();
+        gather_rows_mapped_into(&mut empty, &src, 4, &ids, &[]);
+        gather_rows_u32_into(&mut empty, &[], 0, &[0, 3]);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   their retained scalar references (profile-guided; see module docs),
 //! - [`timing`] — per-kernel wall-time hooks behind an atomic gate,
 //!   surfaced by `xtask profile --timing`,
+//! - [`alloc`] — per-stage heap-allocation counters and the optional
+//!   counting global allocator (`count-allocs` feature), surfaced by
+//!   `xtask profile --timing --allocs` and the engine bench,
 //! - [`activation`] — ReLU / LeakyReLU / ELU / sigmoid / tanh with gradients,
 //! - [`softmax`] — row softmax and softmax-cross-entropy with gradients,
 //! - [`init`] — seeded Xavier / Kaiming initializers,
@@ -20,6 +23,7 @@
 //! - [`parallel`] — scoped-thread row partitioning used by the matmul kernels.
 
 pub mod activation;
+pub mod alloc;
 pub mod init;
 pub mod kernels;
 pub mod matrix;

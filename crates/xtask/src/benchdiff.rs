@@ -52,6 +52,27 @@ const MIN_ANY_SPEEDUP: f64 = 0.5;
 /// (e.g. losing autovectorization) typically costs 3-5x.
 const CROSS_RUN_SLOWDOWN: f64 = 3.0;
 
+/// PR 4's committed warm-epoch engine mean (`engine_warm_mean_seconds` in
+/// the BENCH_engine.json that PR shipped). The pooled hot path must not
+/// regress wall-clock past machine noise: the gate is this baseline times
+/// [`CROSS_RUN_SLOWDOWN`].
+const PR4_ENGINE_WARM_MEAN_SECONDS: f64 = 0.1189;
+
+/// Absolute budget for warm-epoch (epochs 1..) staging allocations —
+/// heap allocations attributed to the sample/gather/transfer stages per
+/// engine epoch. Measured 29–38/epoch on the pooled engine (capacity
+/// growth on recycled buffers while epochs 1–3 still warm up); the budget
+/// leaves headroom for scheduling variance without letting a per-batch
+/// allocation (32+/epoch per callsite) slip back in.
+const WARM_STAGING_ALLOC_BUDGET: f64 = 150.0;
+
+/// The pooled engine must make at least this many times fewer
+/// **steady-state** staging allocations (mean over the last half of the
+/// warm epochs, once every pooled buffer has grown to the working set)
+/// than the allocating sequential baseline measured in the same bench
+/// run. Measured 30–90x; 10x is the regression line.
+const MIN_STAGING_ALLOC_IMPROVEMENT: f64 = 10.0;
+
 fn workspace_root() -> PathBuf {
     // crates/xtask -> workspace root.
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -365,6 +386,84 @@ fn diff_engine() -> Result<(), String> {
         );
     }
 
+    // Allocation telemetry (the pooled-hot-path gate). The bench must have
+    // run under a counting allocator — all-zero series from a build without
+    // one would otherwise pass as "allocation-free" vacuously.
+    check(
+        doc.get("alloc_counting") == Some(&Value::Bool(true)),
+        "'alloc_counting' is not true — regenerate BENCH_engine.json with \
+         `cargo run --release --example engine_multi_epoch --features count-allocs`",
+    );
+    for obj_key in ["allocs_per_epoch", "alloc_bytes_per_epoch"] {
+        let obj = doc
+            .get(obj_key)
+            .ok_or(format!("missing '{obj_key}' breakdown"))?;
+        for stage in ["other", "sample", "gather", "transfer", "train", "refresh"] {
+            let s = obj
+                .get(stage)
+                .and_then(Value::as_f64_series)
+                .ok_or(format!("{obj_key} missing stage series '{stage}'"))?;
+            check(
+                s.len() == epochs,
+                &format!("{obj_key}['{stage}'] length != epochs"),
+            );
+            check(
+                s.iter().all(|v| v.is_finite() && *v >= 0.0),
+                &format!("{obj_key}['{stage}'] has negative or non-finite entries"),
+            );
+        }
+    }
+    let warm_mean = |s: &[f64]| s[1..].iter().sum::<f64>() / (s.len() - 1).max(1) as f64;
+    // Steady state: the last half of the warm epochs, after every pooled
+    // buffer has grown to the working-set capacity. The warmup epochs
+    // (pool filling, capacity growth) are judged only by the absolute
+    // budget above; the improvement ratio is a steady-state claim.
+    let steady_mean = |s: &[f64]| {
+        let tail = &s[s.len() - (s.len() / 2).max(1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    let seq_staging = series("sequential_staging_allocs_per_epoch")?;
+    let eng_staging = series("engine_staging_allocs_per_epoch")?;
+    check(
+        seq_staging.len() == epochs && eng_staging.len() == epochs,
+        "staging-alloc series must span the epochs",
+    );
+    let seq_warm = warm_mean(&seq_staging);
+    let eng_warm = warm_mean(&eng_staging);
+    let seq_steady = steady_mean(&seq_staging);
+    let eng_steady = steady_mean(&eng_staging);
+    check(
+        seq_warm > 0.0,
+        "sequential baseline recorded zero staging allocations — counting was off",
+    );
+    check(
+        eng_warm <= WARM_STAGING_ALLOC_BUDGET,
+        &format!(
+            "warm-epoch staging allocations {eng_warm:.1}/epoch exceed the \
+             {WARM_STAGING_ALLOC_BUDGET} budget — a hot-path allocation crept back in"
+        ),
+    );
+    check(
+        seq_steady >= MIN_STAGING_ALLOC_IMPROVEMENT * eng_steady.max(1.0),
+        &format!(
+            "pooled engine steady-state staging allocations ({eng_steady:.1}/epoch) are not \
+             {MIN_STAGING_ALLOC_IMPROVEMENT}x below the allocating baseline ({seq_steady:.1}/epoch)"
+        ),
+    );
+    // Warm-epoch wall-clock vs the committed PR 4 baseline (generous
+    // cross-run factor — same rationale as the kernel gate).
+    let warm_secs = doc
+        .get("engine_warm_mean_seconds")
+        .and_then(Value::as_f64)
+        .ok_or("missing 'engine_warm_mean_seconds'")?;
+    check(
+        warm_secs <= PR4_ENGINE_WARM_MEAN_SECONDS * CROSS_RUN_SLOWDOWN,
+        &format!(
+            "engine warm-epoch mean {warm_secs:.4}s regressed past \
+             {PR4_ENGINE_WARM_MEAN_SECONDS}s x {CROSS_RUN_SLOWDOWN} (PR 4 baseline)"
+        ),
+    );
+
     // Kernel totals from the timing hooks: present and plausible (nonzero,
     // not larger than total busy time across all workers could explain).
     let kernels = doc
@@ -383,9 +482,13 @@ fn diff_engine() -> Result<(), String> {
 
     if failures.is_empty() {
         println!(
-            "engine gate: OK ({} epochs, {:.1}% H2D saved by the cache)",
+            "engine gate: OK ({} epochs, {:.1}% H2D saved by the cache, staging \
+             allocs warm {:.1}/epoch, steady {:.1}/epoch vs {:.1} sequential)",
             epochs,
-            100.0 * (1.0 - cached.iter().sum::<f64>() / nocache.iter().sum::<f64>())
+            100.0 * (1.0 - cached.iter().sum::<f64>() / nocache.iter().sum::<f64>()),
+            eng_warm,
+            eng_steady,
+            seq_warm
         );
         Ok(())
     } else {

@@ -19,12 +19,22 @@ mod profile;
 
 use profile::Workload;
 
+/// Alloc accounting is always available in xtask (`profile --timing
+/// --allocs`): counting costs nothing while disabled, and installing the
+/// allocator here — instead of via the library's `count-allocs` feature —
+/// keeps the one-global-allocator-per-binary rule trivially satisfied no
+/// matter which feature unification the workspace build picks.
+#[global_allocator]
+static GLOBAL_COUNTING_ALLOCATOR: neutron_tensor::alloc::CountingAllocator =
+    neutron_tensor::alloc::CountingAllocator;
+
 const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  profile <quickstart|pipeline|engine> [--timing] [--epochs N]
-      run a workload under samply (default) or with timing hooks (--timing)
+  profile <quickstart|pipeline|engine> [--timing [--allocs]] [--epochs N]
+      run a workload under samply (default) or with timing hooks (--timing);
+      --allocs adds a per-stage heap-allocation breakdown
   profile-exec <workload> [--epochs N]
       run the workload inline (what samply wraps)
   bench-kernels [--update]
@@ -64,7 +74,7 @@ fn run() -> Result<(), String> {
             let workload = Workload::parse(name)?;
             let epochs = parse_epochs(rest)?;
             if rest.iter().any(|a| a == "--timing") {
-                profile::timing_run(workload, epochs);
+                profile::timing_run(workload, epochs, rest.iter().any(|a| a == "--allocs"));
                 Ok(())
             } else {
                 profile::profile(workload, epochs)

@@ -12,7 +12,7 @@ use neutron_core::pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
 use neutron_core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
 use neutron_graph::DatasetSpec;
 use neutron_nn::LayerKind;
-use neutron_tensor::timing;
+use neutron_tensor::{alloc, timing};
 use std::process::Command;
 use std::time::Instant;
 
@@ -135,15 +135,23 @@ pub fn exec(workload: Workload, epochs: usize) {
     println!("workload done in {:.2}s", t0.elapsed().as_secs_f64());
 }
 
-/// `xtask profile <workload> --timing`: run inline with the tensor timing
-/// hooks enabled and print the per-stage / per-kernel breakdown.
-pub fn timing_run(workload: Workload, epochs: usize) {
+/// `xtask profile <workload> --timing [--allocs]`: run inline with the
+/// tensor timing hooks enabled and print the per-stage / per-kernel
+/// breakdown, plus (with `--allocs`) a per-stage heap-allocation table
+/// from the counting allocator xtask installs.
+pub fn timing_run(workload: Workload, epochs: usize, allocs: bool) {
     timing::reset();
     timing::set_enabled(true);
+    if allocs {
+        alloc::reset();
+        alloc::set_enabled(true);
+    }
     let t0 = Instant::now();
     let reports = run_workload(workload, epochs);
     let wall = t0.elapsed().as_secs_f64();
     timing::set_enabled(false);
+    alloc::set_enabled(false);
+    let alloc_snap = alloc::snapshot();
     let snap = timing::snapshot();
 
     if !reports.is_empty() {
@@ -186,6 +194,31 @@ pub fn timing_run(workload: Workload, epochs: usize) {
         "kernel total",
         snap.total_seconds()
     );
+
+    if allocs {
+        // Per-stage attribution needs the workload to tag its threads
+        // (the engine and the sequential executor do); untagged work —
+        // setup, eval, the plain quickstart loop — lands in `other`.
+        println!("\nper-stage heap allocations ({epochs} epochs):");
+        let per_epoch = |n: u64| n as f64 / epochs.max(1) as f64;
+        for (name, stat) in alloc_snap.iter() {
+            if stat.allocs == 0 {
+                continue;
+            }
+            println!(
+                "  {name:<10} {:>12} allocs  {:>14} B  ({:>10.1} allocs/epoch)",
+                stat.allocs,
+                stat.bytes,
+                per_epoch(stat.allocs)
+            );
+        }
+        println!(
+            "  {:<10} {:>12} allocs  (staging hot path: {:.1} allocs/epoch)",
+            "total",
+            alloc_snap.total_allocs(),
+            per_epoch(alloc_snap.staging_allocs())
+        );
+    }
 }
 
 /// `xtask profile <workload>`: wrap the inline runner in `samply record`.

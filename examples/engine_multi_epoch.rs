@@ -36,7 +36,7 @@ use neutronorch::core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig}
 use neutronorch::graph::DatasetSpec;
 use neutronorch::nn::layers::Layer;
 use neutronorch::nn::LayerKind;
-use neutronorch::tensor::timing;
+use neutronorch::tensor::{alloc, timing};
 use std::time::Instant;
 
 /// PR 3's committed warm-epoch means, kept as the cross-PR reference point.
@@ -110,13 +110,26 @@ fn main() {
         h2d_gibps,
     };
 
-    // --- Mode 1: sequential reference (also the determinism oracle). ----
+    // --- Heap-allocation telemetry. Counters only move when a counting
+    // global allocator is installed (`--features count-allocs` — the CI
+    // configuration); the JSON records which it was so all-zero series are
+    // never mistaken for an allocation-free run.
+    let alloc_counting = alloc::counting_installed();
+    alloc::reset();
+    alloc::set_enabled(true);
+
+    // --- Mode 1: sequential reference (also the determinism oracle). Its
+    // per-epoch staging allocations (sample+gather+transfer, allocating
+    // code paths) are the "before" the pooled engine is compared against.
     let exec = PipelineExecutor::new(pipeline.clone());
     let mut seq_trainer = trainer(&spec);
     let mut seq_secs = Vec::with_capacity(EPOCHS);
     let mut seq_loss = Vec::with_capacity(EPOCHS);
+    let mut seq_staging_allocs: Vec<u64> = Vec::with_capacity(EPOCHS);
     for epoch in 0..EPOCHS {
+        let before = alloc::snapshot();
         let (obs, report) = exec.run_epoch_sequential(&mut seq_trainer, epoch);
+        seq_staging_allocs.push(alloc::snapshot().since(&before).staging_allocs());
         seq_secs.push(report.epoch_seconds);
         seq_loss.push(obs.train_loss);
     }
@@ -160,6 +173,7 @@ fn main() {
     timing::set_enabled(true);
     let session = engine.run_session(&mut engine_trainer, 0, EPOCHS);
     timing::set_enabled(false);
+    alloc::set_enabled(false);
     let kernel_snapshot = timing::snapshot();
     println!(
         "engine session: {} workers spawned once ({:.4}s startup) for {} generations\n",
@@ -280,6 +294,48 @@ fn main() {
         "refresh sharding ({} vertices, {} workers): serial {:.4}s, sharded {:.4}s ({:.2}x)",
         hot_share, refresh_workers, serial_secs, sharded_secs, refresh_speedup
     );
+    // --- Metadata-overhead telemetry: staging-stage heap allocations of
+    // the allocating sequential baseline vs the pooled engine, per warm
+    // epoch. With counting off (no `count-allocs` feature) both read 0 and
+    // the JSON's `alloc_counting: false` says why.
+    let engine_staging_allocs: Vec<u64> = session
+        .epochs
+        .iter()
+        .map(|r| r.allocs.staging_allocs())
+        .collect();
+    let warm_u64 = |xs: &[u64]| xs[1..].iter().sum::<u64>() as f64 / (xs.len() - 1) as f64;
+    if alloc_counting {
+        println!("\nstaging-stage heap allocations per epoch (sample+gather+transfer):");
+        println!("  sequential (allocating): {:?}", seq_staging_allocs);
+        println!("  engine (pooled):         {:?}", engine_staging_allocs);
+        println!(
+            "  warm-epoch means: sequential {:.1}, engine {:.1} ({:.0}x fewer)",
+            warm_u64(&seq_staging_allocs),
+            warm_u64(&engine_staging_allocs),
+            warm_u64(&seq_staging_allocs) / warm_u64(&engine_staging_allocs).max(1.0),
+        );
+        println!("  engine per-stage allocs/bytes, warm epochs:");
+        for (si, name) in alloc::STAGES.iter().map(|s| s.name()).enumerate() {
+            let a: u64 = session.epochs[1..]
+                .iter()
+                .map(|r| r.allocs.stats[si].allocs)
+                .sum();
+            let b: u64 = session.epochs[1..]
+                .iter()
+                .map(|r| r.allocs.stats[si].bytes)
+                .sum();
+            println!(
+                "    {name:<10} {:>10.1} allocs/epoch  {:>12.0} B/epoch",
+                a as f64 / (EPOCHS - 1) as f64,
+                b as f64 / (EPOCHS - 1) as f64
+            );
+        }
+    } else {
+        println!(
+            "\n(no counting allocator installed — rerun with --features count-allocs for alloc telemetry)"
+        );
+    }
+
     println!(
         "warm epochs vs PR 3 baseline: engine {:.4}s vs {:.4}s ({:.2}x), respawn {:.4}s vs {:.4}s ({:.2}x)",
         warm(&engine_secs),
@@ -317,8 +373,35 @@ fn main() {
     let refresh_sharded = format!(
         "{{\"vertices\": {hot_share}, \"workers\": {refresh_workers}, \"serial_seconds\": {serial_secs:.4}, \"sharded_seconds\": {sharded_secs:.4}, \"speedup\": {refresh_speedup:.2}}}",
     );
+    let stage_alloc_series = |bytes: bool| {
+        let rows: Vec<String> = alloc::STAGES
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let series: Vec<u64> = session
+                    .epochs
+                    .iter()
+                    .map(|r| {
+                        let st = r.allocs.stats[si];
+                        if bytes {
+                            st.bytes
+                        } else {
+                            st.allocs
+                        }
+                    })
+                    .collect();
+                format!("    \"{}\": {}", s.name(), fmt_series_u64(&series))
+            })
+            .collect();
+        format!("{{\n{}\n  }}", rows.join(",\n"))
+    };
+    let allocs_per_epoch = stage_alloc_series(false);
+    let alloc_bytes_per_epoch = stage_alloc_series(true);
+    let seq_staging_json = fmt_series_u64(&seq_staging_allocs);
+    let eng_staging_json = fmt_series_u64(&engine_staging_allocs);
+    let eng_warm_staging = format!("{:.1}", warm_u64(&engine_staging_allocs));
     let json = format!(
-        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"gpu_cache_budget_bytes\": {},\n  \"occupancy_ewma_alpha\": {},\n  \"split_hysteresis\": {},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"pr3_engine_warm_mean_seconds\": {PR3_ENGINE_WARM_MEAN_SECONDS},\n  \"pr3_respawn_warm_mean_seconds\": {PR3_RESPAWN_WARM_MEAN_SECONDS},\n  \"engine_warm_speedup_vs_pr3\": {:.2},\n  \"stage_seconds\": {stage_seconds},\n  \"kernel_seconds\": {kernel_seconds},\n  \"refresh_sharded\": {refresh_sharded},\n  \"adaptive_cpu_fraction\": {},\n  \"smoothed_occupancy\": {},\n  \"cached_vertices_per_epoch\": {},\n  \"cache_hits_per_epoch\": {},\n  \"cache_misses_per_epoch\": {},\n  \"h2d_bytes_per_epoch\": {},\n  \"h2d_bytes_per_epoch_nocache\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
+        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"gpu_cache_budget_bytes\": {},\n  \"occupancy_ewma_alpha\": {},\n  \"split_hysteresis\": {},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"pr3_engine_warm_mean_seconds\": {PR3_ENGINE_WARM_MEAN_SECONDS},\n  \"pr3_respawn_warm_mean_seconds\": {PR3_RESPAWN_WARM_MEAN_SECONDS},\n  \"engine_warm_speedup_vs_pr3\": {:.2},\n  \"stage_seconds\": {stage_seconds},\n  \"kernel_seconds\": {kernel_seconds},\n  \"alloc_counting\": {alloc_counting},\n  \"allocs_per_epoch\": {allocs_per_epoch},\n  \"alloc_bytes_per_epoch\": {alloc_bytes_per_epoch},\n  \"sequential_staging_allocs_per_epoch\": {seq_staging_json},\n  \"engine_staging_allocs_per_epoch\": {eng_staging_json},\n  \"engine_warm_staging_allocs_per_epoch\": {eng_warm_staging},\n  \"refresh_sharded\": {refresh_sharded},\n  \"adaptive_cpu_fraction\": {},\n  \"smoothed_occupancy\": {},\n  \"cached_vertices_per_epoch\": {},\n  \"cache_hits_per_epoch\": {},\n  \"cache_misses_per_epoch\": {},\n  \"h2d_bytes_per_epoch\": {},\n  \"h2d_bytes_per_epoch_nocache\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
         spec.name,
         spec.vertices,
         EPOCHS,

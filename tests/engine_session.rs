@@ -234,6 +234,53 @@ fn cache_budget_never_changes_the_trajectory() {
     }
 }
 
+/// Bit-identity is independent of the buffer-return pool size: recycled
+/// bundles only donate *capacity* (every pooled path clears before
+/// refilling), so a pool of 1 (smaller than the in-flight batch depth — the
+/// samplers mostly allocate fresh), the auto size, and an oversized pool
+/// all replay the sequential trajectory exactly.
+#[test]
+fn pool_size_never_changes_the_trajectory() {
+    let policy = || ReusePolicy::HotnessAware {
+        hot_ratio: 0.3,
+        super_batch: 2,
+    };
+    let epochs = 4;
+    let seq_exec = PipelineExecutor::new(PipelineConfig::default());
+    let mut seq = trainer(policy());
+    let reference: Vec<_> = (0..epochs)
+        .map(|e| seq_exec.run_epoch_sequential(&mut seq, e).0)
+        .collect();
+    for pool_batches in [1usize, 2, 0, 64] {
+        let mut t = trainer(policy());
+        let mut config = EngineConfig {
+            pipeline: PipelineConfig {
+                sampler_threads: 3,
+                gather_threads: 2,
+                channel_depth: 3,
+                h2d_gibps: 0.0,
+            },
+            adaptive_split: true,
+            gpu_free_bytes: 64 << 20,
+            ..EngineConfig::default()
+        };
+        config.pool_batches = pool_batches;
+        let session = TrainingEngine::new(config).run_session(&mut t, 0, epochs);
+        for (run, want) in session.epochs.iter().zip(&reference) {
+            assert_eq!(
+                run.observation.train_loss, want.train_loss,
+                "epoch {} loss diverged with pool_batches={pool_batches}",
+                run.epoch
+            );
+            assert_eq!(
+                run.observation.test_accuracy, want.test_accuracy,
+                "epoch {} accuracy diverged with pool_batches={pool_batches}",
+                run.epoch
+            );
+        }
+    }
+}
+
 /// The persistent pool spawns its workers exactly once per session,
 /// independent of how many epochs the session runs, and opens one gate
 /// generation per epoch.

@@ -1,0 +1,115 @@
+//! Property tests of the pooled (buffer-recycling) hot paths introduced
+//! with the allocation-free engine: for any seed set, recycled-buffer
+//! state and cache membership — including degenerate shapes (empty batch,
+//! single vertex, heavily reused dirty buffers) — the pooled sampler and
+//! the pooled gather/assembly must be **value-identical** to the
+//! allocating paths. Pooling transfers capacity, never contents.
+
+use neutronorch::cache::FeatureCache;
+use neutronorch::core::gather::GatheredFeatures;
+use neutronorch::core::pool::BatchBuffers;
+use neutronorch::graph::dataset::DatasetSpec;
+use neutronorch::sample::{Block, BlockBuilder, Fanout, NeighborSampler};
+use neutronorch::tensor::Matrix;
+use proptest::prelude::*;
+
+fn assert_blocks_match(fresh: &[Block], pooled: &[Block], what: &str) {
+    assert_eq!(fresh.len(), pooled.len(), "{what}: layer count");
+    for (a, b) in fresh.iter().zip(pooled) {
+        assert_eq!(a.dst(), b.dst(), "{what}: dst");
+        assert_eq!(a.src(), b.src(), "{what}: src");
+        assert_eq!(a.num_edges(), b.num_edges(), "{what}: edges");
+        for i in 0..a.num_dst() {
+            assert_eq!(a.neighbors_local(i), b.neighbors_local(i), "{what}: adj");
+        }
+        b.validate().expect(what);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pooled sampler replays the allocating sampler exactly, with one
+    /// builder reused (and re-fed dirty buffers) across a whole run of
+    /// randomly sized batches — empty and single-vertex batches included.
+    #[test]
+    fn pooled_sampler_is_value_identical_on_any_batch_shape(
+        seed in 0u64..1000,
+        sizes in proptest::collection::vec(0usize..24, 1..6),
+    ) {
+        let ds = DatasetSpec::tiny().build_topology();
+        let n = ds.csr.num_vertices() as u32;
+        let sampler = NeighborSampler::new(Fanout::new(vec![4, 3]));
+        let mut builder = BlockBuilder::new();
+        for (bi, &size) in sizes.iter().enumerate() {
+            let seeds: Vec<u32> = (0..size as u32)
+                .map(|i| (seed as u32).wrapping_mul(31).wrapping_add(i * 7) % n)
+                .collect();
+            let s = seed ^ (bi as u64) << 32;
+            let fresh = sampler.sample_batch(&ds.csr, &seeds, s);
+            let pooled = sampler.sample_batch_pooled(&ds.csr, &seeds, s, &mut builder);
+            assert_blocks_match(&fresh, &pooled, &format!("batch {bi} (|seeds|={size})"));
+            // Recycle the pooled stack, dirty, into the builder — the next
+            // batch must still match the allocating path bit for bit.
+            let mut stack = pooled;
+            for block in stack.drain(..) {
+                builder.donate_parts(block.into_parts());
+            }
+            builder.donate_stack(stack);
+        }
+    }
+
+    /// Pooled gather + assembly round-trips through an arbitrarily dirty
+    /// buffer bundle and still reproduces the allocating path float for
+    /// float, for any cache membership and source set (empty and singleton
+    /// included). The spent buffers must fold back into the bundle.
+    #[test]
+    fn pooled_gather_and_assembly_are_value_identical(
+        dim in 1usize..5,
+        cached_flags in proptest::collection::vec(any::<bool>(), 16..17),
+        src_flags in proptest::collection::vec(any::<bool>(), 16..17),
+        stale in proptest::collection::vec(0u32..100, 0..8),
+    ) {
+        let n = cached_flags.len();
+        let mut host = Matrix::zeros(n, dim);
+        for v in 0..n {
+            let row: Vec<f32> = (0..dim).map(|c| (v * 31 + c) as f32).collect();
+            host.copy_row_from(v, &row);
+        }
+        let cached: Vec<u32> = cached_flags
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &f)| f.then_some(v as u32))
+            .collect();
+        let cache = FeatureCache::for_vertices(&cached, n, host.as_slice(), dim);
+        let src: Vec<u32> = src_flags
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &f)| f.then_some(v as u32))
+            .collect();
+        let offsets = vec![0u32; src.len() + 1];
+        let block = Block::new(src.clone(), src.clone(), offsets, Vec::new());
+
+        // A bundle poisoned with stale garbage of unrelated shapes, reused
+        // across both the gather and the assembly.
+        let mut bufs = BatchBuffers::new();
+        bufs.put_pos(stale.clone());
+        bufs.put_f32(stale.iter().map(|&x| x as f32 + 0.5).collect());
+        bufs.put_f32(vec![9.25; 3]);
+
+        let want = GatheredFeatures::gather_from(&host, &block, &cache);
+        let got = GatheredFeatures::gather_from_pooled(&host, &block, &cache, &mut bufs);
+        prop_assert_eq!(got.num_hits(), want.num_hits());
+        prop_assert_eq!(got.num_misses(), want.num_misses());
+        prop_assert_eq!(got.h2d_feature_bytes(), want.h2d_feature_bytes());
+
+        let want_m = want.assemble(block.src(), &cache);
+        let got_m = got.assemble_pooled(block.src(), &cache, &mut bufs);
+        prop_assert_eq!(got_m.as_slice(), want_m.as_slice());
+        prop_assert_eq!(got_m.shape(), want_m.shape());
+        // Both position buffers came back; the all-miss fast path keeps the
+        // miss matrix as the result, every other shape returns its f32 buf.
+        prop_assert_eq!(bufs.pos_bufs.len(), 2);
+        prop_assert!(!bufs.f32_bufs.is_empty());
+    }
+}

@@ -155,6 +155,7 @@ proptest! {
             index: 0,
             blocks: vec![block],
             features: gf,
+            bufs: neutronorch::core::pool::BatchBuffers::new(),
         };
         // No sampled edges, so staged bytes are exactly the miss features.
         let misses = staged.features.num_misses() as u64;
