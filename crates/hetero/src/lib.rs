@@ -23,9 +23,11 @@ pub mod cost;
 pub mod device;
 pub mod engine;
 pub mod gantt;
+pub mod interconnect;
 pub mod memory;
 
 pub use cost::{Cost, CostModel};
 pub use device::{DeviceProfile, GpuSpec, HardwareSpec};
 pub use engine::{Engine, ResourceId, RunReport, TaskId, TaskKind, TraceSpan};
+pub use interconnect::{ring_allreduce_bytes, InterconnectSpec};
 pub use memory::{MemLedger, OomError};

@@ -1,0 +1,133 @@
+//! Deterministic gradient all-reduce for data-parallel model replicas.
+//!
+//! Data-parallel training (DistDGL/DSP-style, see PAPERS.md) averages the
+//! per-replica gradients at every batch boundary before the shared
+//! optimizer step. Floating-point addition is not associative, so a naive
+//! "sum in arrival order" reduction makes the trajectory depend on thread
+//! scheduling. This module fixes the reduction *shape* instead: a
+//! slot-indexed pairwise tree keyed by replica index, so the result is a
+//! pure function of `(gradients, replica index)` — independent of which
+//! replica finished first — and collapses to a no-op at R=1.
+//!
+//! Two exactness properties the engine's bit-identity gates rely on:
+//! - **R=1 is the identity.** The tree performs zero arithmetic and the
+//!   1/R scale is skipped, so single-replica training is bit-identical to
+//!   the non-replicated trainer by construction.
+//! - **R identical replicas average to the replica.** At power-of-two R
+//!   with equal inputs every tree level computes `x + x = 2x` (exact in
+//!   IEEE-754 barring overflow) and the final scale divides by `2^k`
+//!   (exact), so the average reproduces the input bit-for-bit.
+
+use neutron_tensor::Matrix;
+
+/// One replica's gradients: one matrix per parameter, in the model's
+/// canonical parameter order.
+pub type GradSet = Vec<Matrix>;
+
+/// Averages `groups[r][p]` over replicas `r` into a single gradient set,
+/// using a slot-indexed pairwise tree reduction (stride doubling:
+/// `groups[i] += groups[i + gap]` for `gap = 1, 2, 4, ...`). The reduction
+/// order is fixed by replica *index*, never by arrival order. Consumes the
+/// groups and returns the averaged set in slot 0's buffers (no extra
+/// allocation beyond the vec shuffle).
+///
+/// Panics if `groups` is empty or the per-replica sets disagree in shape.
+pub fn tree_average(mut groups: Vec<GradSet>) -> GradSet {
+    let replicas = groups.len();
+    assert!(replicas > 0, "tree_average needs at least one replica");
+    if replicas == 1 {
+        return groups.pop().unwrap();
+    }
+    let mut gap = 1;
+    while gap < replicas {
+        let mut i = 0;
+        while i + gap < replicas {
+            // Split off the right operand so both slots can be borrowed.
+            let (left, right) = groups.split_at_mut(i + gap);
+            add_assign_set(&mut left[i], &right[0]);
+            i += 2 * gap;
+        }
+        gap *= 2;
+    }
+    let mut out = groups.swap_remove(0);
+    let inv = 1.0 / replicas as f32;
+    for m in &mut out {
+        for v in m.as_mut_slice() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+fn add_assign_set(dst: &mut GradSet, src: &GradSet) {
+    assert_eq!(dst.len(), src.len(), "replica gradient sets disagree");
+    for (d, s) in dst.iter_mut().zip(src) {
+        assert_eq!(d.shape(), s.shape(), "replica gradient shapes disagree");
+        for (a, b) in d.as_mut_slice().iter_mut().zip(s.as_slice()) {
+            *a += *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grads(vals: &[f32]) -> GradSet {
+        vec![Matrix::from_vec(1, vals.len(), vals.to_vec())]
+    }
+
+    #[test]
+    fn single_replica_is_the_identity() {
+        let g = grads(&[0.1, -2.5, 3.0]);
+        let expect = g.clone();
+        let out = tree_average(vec![g]);
+        assert_eq!(out[0].as_slice(), expect[0].as_slice());
+    }
+
+    #[test]
+    fn identical_replicas_average_to_the_replica_bit_exactly() {
+        let base = grads(&[0.1, -2.5, 3.0e-7, 1234.5]);
+        for r in [2usize, 4, 8] {
+            let out = tree_average(vec![base.clone(); r]);
+            assert_eq!(
+                out[0].as_slice(),
+                base[0].as_slice(),
+                "power-of-two averaging of equal inputs must be exact (R={r})"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_is_a_function_of_slot_not_arrival() {
+        // Same multisets placed in the same slots must reduce identically
+        // however the caller happened to *collect* them; distinct slot
+        // orders are allowed to differ in ULPs but must stay deterministic.
+        let sets: Vec<GradSet> = (0..3)
+            .map(|r| grads(&[0.1 * (r as f32 + 1.0), -1.0 / (r as f32 + 3.0)]))
+            .collect();
+        let a = tree_average(sets.clone());
+        let b = tree_average(sets);
+        assert_eq!(a[0].as_slice(), b[0].as_slice());
+    }
+
+    #[test]
+    fn zero_row_and_multi_param_shapes_survive() {
+        let set = vec![Matrix::zeros(0, 4), Matrix::full(2, 2, 1.5)];
+        let out = tree_average(vec![set.clone(), set.clone()]);
+        assert_eq!(out[0].shape(), (0, 4));
+        assert_eq!(out[1].as_slice(), [1.5; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_group_list_is_rejected() {
+        let _ = tree_average(Vec::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_is_rejected() {
+        let _ = tree_average(vec![grads(&[1.0]), grads(&[1.0, 2.0])]);
+    }
+}

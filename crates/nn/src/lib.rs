@@ -12,6 +12,7 @@
 //! All gradients are validated against central finite differences in
 //! [`gradcheck`]-based tests.
 
+pub mod allreduce;
 pub mod flops;
 pub mod gradcheck;
 pub mod layers;
@@ -21,6 +22,7 @@ pub mod model;
 pub mod optim;
 pub mod param;
 
+pub use allreduce::{tree_average, GradSet};
 pub use layers::{Layer, LayerCtx, LayerKind};
 pub use model::{ForwardPass, GnnModel, ModelConfig};
 pub use param::Param;

@@ -85,6 +85,8 @@ pub struct BlockBuilder {
     picks: Vec<VertexId>,
     frontier: Vec<VertexId>,
     chosen: Vec<usize>,
+    locals: Vec<VertexId>,
+    remotes: Vec<VertexId>,
 }
 
 impl BlockBuilder {
@@ -205,6 +207,65 @@ impl NeighborSampler {
             } = *builder;
             let block = one_hop_dedup_into(g, &frontier, fanout, scratch, picks, parts, {
                 |g, v, picks| sample_distinct_neighbors(g, v, fanout, &mut rng, picks, chosen)
+            });
+            frontier.clear();
+            frontier.extend_from_slice(block.src());
+            blocks.push(block);
+        }
+        blocks.reverse();
+        builder.frontier = frontier;
+        blocks
+    }
+
+    /// [`Self::sample_batch_pooled`] with **partition-locality bias**
+    /// (DistDGL-style): each vertex's draw first splits its neighborhood
+    /// into partition-local and remote vertices (order-preserved), then
+    /// fills the fanout from local neighbors before touching remote ones.
+    /// `owner[v]` is the partition assignment and `part` this replica's
+    /// partition; `counts` accumulates how many picks were local vs
+    /// remote.
+    ///
+    /// Two properties the replicated engine's gates rely on:
+    /// - **Single partition ⇒ bit-identical to the unbiased path.** When
+    ///   every neighbor is local the split is a no-op and the Floyd draw
+    ///   consumes the rng exactly like [`Self::sample_batch_pooled`], so
+    ///   at R=1 locality bias cannot change a block.
+    /// - **Deterministic.** Draws depend only on `(seed, owner, part)` —
+    ///   never on timing — so fixed partitions give fixed blocks.
+    #[allow(clippy::too_many_arguments)] // mirrors sample_batch_pooled + the three locality operands
+    pub fn sample_batch_pooled_biased(
+        &self,
+        g: &Csr,
+        seeds: &[VertexId],
+        seed: u64,
+        builder: &mut BlockBuilder,
+        owner: &[u32],
+        part: u32,
+        counts: &mut LocalityCounts,
+    ) -> Vec<Block> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = self.fanout.layers();
+        let mut blocks = builder.take_stack(layers);
+        let mut frontier = std::mem::take(&mut builder.frontier);
+        frontier.clear();
+        frontier.extend_from_slice(seeds);
+        for l in (0..layers).rev() {
+            let fanout = self.fanout.at(l);
+            let parts = builder.take_parts();
+            let BlockBuilder {
+                ref mut scratch,
+                ref mut picks,
+                ref mut chosen,
+                ref mut locals,
+                ref mut remotes,
+                ..
+            } = *builder;
+            let block = one_hop_dedup_into(g, &frontier, fanout, scratch, picks, parts, {
+                |g: &Csr, v: VertexId, picks: &mut Vec<VertexId>| {
+                    sample_biased_neighbors(
+                        g, v, fanout, &mut rng, picks, chosen, locals, remotes, owner, part, counts,
+                    )
+                }
             });
             frontier.clear();
             frontier.extend_from_slice(block.src());
@@ -377,17 +438,26 @@ fn sample_distinct_neighbors(
     out: &mut Vec<VertexId>,
     chosen: &mut Vec<usize>,
 ) {
-    let neigh = g.neighbors(v);
-    if neigh.len() <= fanout {
-        out.extend_from_slice(neigh);
+    floyd_pick(g.neighbors(v), fanout, rng, out, chosen);
+}
+
+/// Picks `min(k, pool.len())` distinct entries of `pool` into `out`: the
+/// whole pool when it fits, otherwise Floyd's algorithm over positions.
+/// `chosen` is a caller-owned scratch so the over-fanout case stays
+/// allocation-free per vertex; reusing it cannot change a draw — the rng
+/// stream and the membership test are identical to a fresh buffer.
+fn floyd_pick(
+    pool: &[VertexId],
+    k: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<VertexId>,
+    chosen: &mut Vec<usize>,
+) {
+    if pool.len() <= k {
+        out.extend_from_slice(pool);
         return;
     }
-    // Floyd's algorithm: k distinct indices from [0, n). `chosen` is a
-    // caller-owned scratch so the over-fanout case stays allocation-free
-    // per vertex; reusing it cannot change a draw — the rng stream and the
-    // membership test are identical to a fresh buffer.
-    let n = neigh.len();
-    let k = fanout;
+    let n = pool.len();
     chosen.clear();
     chosen.reserve(k);
     for j in (n - k)..n {
@@ -398,7 +468,79 @@ fn sample_distinct_neighbors(
             chosen.push(t);
         }
     }
-    out.extend(chosen.drain(..).map(|i| neigh[i]));
+    out.extend(chosen.drain(..).map(|i| pool[i]));
+}
+
+/// How many neighbor picks a biased sampling run satisfied from the
+/// replica's own partition vs a remote one. Remote picks are the traffic
+/// the interconnect model prices.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalityCounts {
+    /// Picks owned by the sampling replica's partition.
+    pub local_picks: u64,
+    /// Picks that would require a remote feature/embedding pull.
+    pub remote_picks: u64,
+}
+
+/// The locality-biased per-vertex draw: split `v`'s neighborhood into
+/// partition-local and remote (order-preserved), fill the fanout from
+/// locals first, and only then draw the remainder from remotes. With a
+/// single partition the split is empty and the draw degenerates to
+/// [`sample_distinct_neighbors`]'s exact rng stream.
+#[allow(clippy::too_many_arguments)]
+fn sample_biased_neighbors(
+    g: &Csr,
+    v: VertexId,
+    fanout: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<VertexId>,
+    chosen: &mut Vec<usize>,
+    locals: &mut Vec<VertexId>,
+    remotes: &mut Vec<VertexId>,
+    owner: &[u32],
+    part: u32,
+    counts: &mut LocalityCounts,
+) {
+    let neigh = g.neighbors(v);
+    if neigh.len() <= fanout {
+        // Fanout not binding: take everything, like the unbiased path.
+        out.extend_from_slice(neigh);
+        for &u in neigh {
+            if owner[u as usize] == part {
+                counts.local_picks += 1;
+            } else {
+                counts.remote_picks += 1;
+            }
+        }
+        return;
+    }
+    locals.clear();
+    remotes.clear();
+    for &u in neigh {
+        if owner[u as usize] == part {
+            locals.push(u);
+        } else {
+            remotes.push(u);
+        }
+    }
+    if locals.len() > fanout {
+        // Enough local supply: the whole draw stays on-partition. With
+        // zero remotes this consumes the rng exactly like the unbiased
+        // Floyd over the full (identical) neighborhood.
+        floyd_pick(locals, fanout, rng, out, chosen);
+        counts.local_picks += fanout as u64;
+    } else {
+        // Take every local neighbor, then top up from remotes. The pool
+        // is strictly larger than the fanout here, so the remote pool is
+        // strictly larger than the remainder and Floyd always applies.
+        out.extend_from_slice(locals);
+        counts.local_picks += locals.len() as u64;
+        let rem = fanout - locals.len();
+        if rem > 0 {
+            floyd_pick(remotes, rem, rng, out, chosen);
+            counts.remote_picks += rem as u64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +719,119 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn single_partition_biased_sampling_is_bit_identical_to_unbiased() {
+        let g = erdos_renyi(200, 5000, 7);
+        let s = NeighborSampler::new(Fanout::new(vec![4, 3]));
+        let owner = vec![0u32; 200];
+        let mut builder = BlockBuilder::new();
+        let mut counts = LocalityCounts::default();
+        for seed in 0..10u64 {
+            let seeds: Vec<VertexId> = (0..10).map(|i| (seed as u32 * 13 + i) % 200).collect();
+            let plain = s.sample_batch(&g, &seeds, seed);
+            let biased = s.sample_batch_pooled_biased(
+                &g,
+                &seeds,
+                seed,
+                &mut builder,
+                &owner,
+                0,
+                &mut counts,
+            );
+            assert_eq!(plain.len(), biased.len());
+            for (a, b) in plain.iter().zip(&biased) {
+                assert_eq!(a.dst(), b.dst(), "seed {seed}");
+                assert_eq!(a.src(), b.src(), "seed {seed}");
+                assert_eq!(a.num_edges(), b.num_edges(), "seed {seed}");
+                for i in 0..a.num_dst() {
+                    assert_eq!(a.neighbors_local(i), b.neighbors_local(i), "seed {seed}");
+                }
+            }
+            let mut stack = biased;
+            for block in stack.drain(..) {
+                builder.donate_parts(block.into_parts());
+            }
+            builder.donate_stack(stack);
+        }
+        assert_eq!(counts.remote_picks, 0, "one partition has no remote picks");
+        assert!(counts.local_picks > 0);
+    }
+
+    #[test]
+    fn biased_sampling_prefers_local_neighbors_and_counts_remote_pulls() {
+        // Sparse enough (mean degree ~8, so ~4 local under a 2-way cut)
+        // that the fanout regularly outruns the local supply.
+        let g = erdos_renyi(300, 2400, 9);
+        let s = NeighborSampler::new(Fanout::new(vec![5]));
+        let owner: Vec<u32> = (0..300u32).map(|v| v % 2).collect();
+        let mut builder = BlockBuilder::new();
+        let mut biased_counts = LocalityCounts::default();
+        let seeds: Vec<VertexId> = (0..40).map(|i| i * 2).collect(); // part 0
+        let blocks = s.sample_batch_pooled_biased(
+            &g,
+            &seeds,
+            3,
+            &mut builder,
+            &owner,
+            0,
+            &mut biased_counts,
+        );
+        let b = &blocks[0];
+        // Picks are still real, distinct neighbors bounded by fanout.
+        for i in 0..b.num_dst() {
+            let v = b.dst()[i];
+            let mut seen = std::collections::HashSet::new();
+            assert!(b.sampled_degree(i) <= 5.max(g.degree(v)));
+            let mut local = 0usize;
+            for &li in b.neighbors_local(i) {
+                let u = b.src()[li as usize];
+                assert!(seen.insert(u), "duplicate neighbor {u} for {v}");
+                assert!(g.neighbors(v).contains(&u));
+                if owner[u as usize] == 0 {
+                    local += 1;
+                }
+            }
+            // Local preference: remote picks appear only once the local
+            // supply is exhausted below the fanout.
+            let local_supply = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| owner[u as usize] == 0)
+                .count();
+            if g.degree(v) > 5 && local_supply >= 5 {
+                assert_eq!(local, b.sampled_degree(i), "vertex {v} pulled remote");
+            }
+        }
+        assert!(
+            biased_counts.remote_picks > 0,
+            "a 2-way hash cut has remote picks"
+        );
+
+        // The ablation: a locality-blind run (every vertex pretends to be
+        // local) must pull strictly more remote vertices by owner-count.
+        let mut blind_builder = BlockBuilder::new();
+        let blind = s.sample_batch_pooled(&g, &seeds, 3, &mut blind_builder);
+        let remote_rows = |blocks: &[Block]| {
+            blocks[0]
+                .src()
+                .iter()
+                .filter(|&&u| owner[u as usize] != 0)
+                .count()
+        };
+        assert!(
+            remote_rows(&blocks) < remote_rows(&blind),
+            "biased {} vs blind {}",
+            remote_rows(&blocks),
+            remote_rows(&blind)
+        );
+
+        // Determinism: same seed, same partition, same blocks and counts.
+        let mut c2 = LocalityCounts::default();
+        let again = s.sample_batch_pooled_biased(&g, &seeds, 3, &mut builder, &owner, 0, &mut c2);
+        assert_eq!(blocks[0].src(), again[0].src());
+        assert_eq!(c2, biased_counts);
     }
 
     #[test]

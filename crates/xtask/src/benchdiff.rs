@@ -464,6 +464,110 @@ fn diff_engine() -> Result<(), String> {
         ),
     );
 
+    // Replicated data-parallel section: R=1 identity (asserted in-process
+    // by the example; the recorded flag proves the assert ran), the ring
+    // all-reduce byte law recomputed from steps x model size, and the
+    // locality ablation (partition-aware sampling must pull fewer remote
+    // feature bytes than the locality-blind run of the same trajectory).
+    let replicas = doc
+        .get("replicas")
+        .and_then(Value::as_u64)
+        .ok_or("missing 'replicas'")?;
+    check(
+        replicas >= 2,
+        "'replicas' must be >= 2 for the scaling section",
+    );
+    let model_bytes = doc
+        .get("model_bytes")
+        .and_then(Value::as_f64)
+        .ok_or("missing 'model_bytes'")?;
+    check(model_bytes > 0.0, "'model_bytes' must be positive");
+    check(
+        doc.get("replicated_r1_matches_sequential") == Some(&Value::Bool(true)),
+        "'replicated_r1_matches_sequential' is not true — the R=1 \
+         bit-identity assert did not run",
+    );
+    for key in [
+        "replica_steps_per_epoch",
+        "allreduce_bytes_per_epoch",
+        "remote_feature_bytes_per_epoch",
+        "remote_feature_bytes_per_epoch_blind",
+        "interconnect_seconds_per_epoch",
+        "replicated_staging_allocs_per_epoch",
+    ] {
+        let s = series(key)?;
+        check(
+            s.len() == epochs,
+            &format!("series '{key}' length != epochs"),
+        );
+        check(
+            s.iter().all(|v| v.is_finite() && *v >= 0.0),
+            &format!("series '{key}' has negative or non-finite entries"),
+        );
+    }
+    let steps = series("replica_steps_per_epoch")?;
+    let allreduce = series("allreduce_bytes_per_epoch")?;
+    let remote = series("remote_feature_bytes_per_epoch")?;
+    let remote_blind = series("remote_feature_bytes_per_epoch_blind")?;
+    let interconnect = series("interconnect_seconds_per_epoch")?;
+    check(
+        steps.iter().all(|&s| s > 0.0),
+        "every replicated epoch must take at least one step",
+    );
+    for e in 0..epochs {
+        let want = steps[e] * 2.0 * (replicas - 1) as f64 * model_bytes;
+        check(
+            (allreduce[e] - want).abs() < 0.5,
+            &format!(
+                "epoch {e}: allreduce_bytes {} != steps x 2(R-1) x model_bytes = {want}",
+                allreduce[e]
+            ),
+        );
+    }
+    check(
+        interconnect.iter().all(|&v| v > 0.0),
+        "interconnect pricing must be positive while all-reduce traffic flows",
+    );
+    check(
+        remote_blind.iter().sum::<f64>() > 0.0,
+        "the locality-blind run pulled no remote features — partitioning is broken",
+    );
+    check(
+        remote.iter().sum::<f64>() < remote_blind.iter().sum::<f64>(),
+        "locality-aware sampling did not reduce remote feature bytes vs the blind ablation",
+    );
+    let per_rep = doc
+        .get("replica_epoch_seconds")
+        .ok_or("missing 'replica_epoch_seconds' breakdown")?;
+    for r in 0..replicas {
+        let key = format!("replica{r}");
+        let s = per_rep
+            .get(&key)
+            .and_then(Value::as_f64_series)
+            .ok_or(format!("replica_epoch_seconds missing '{key}'"))?;
+        check(
+            s.len() == epochs,
+            &format!("replica_epoch_seconds['{key}'] length != epochs"),
+        );
+        check(
+            s.iter().all(|v| v.is_finite() && *v >= 0.0),
+            &format!("replica_epoch_seconds['{key}'] has negative entries"),
+        );
+    }
+    // The replicated engine reuses the pooled staging path: its warm-epoch
+    // staging allocations get R times the single-engine budget (R pools
+    // warm up independently; the per-replica budget is gated exactly in
+    // tests/alloc_budget.rs).
+    let repl_staging = series("replicated_staging_allocs_per_epoch")?;
+    let repl_warm = warm_mean(&repl_staging);
+    check(
+        repl_warm <= replicas as f64 * WARM_STAGING_ALLOC_BUDGET,
+        &format!(
+            "replicated warm-epoch staging allocations {repl_warm:.1}/epoch exceed \
+             {replicas} x {WARM_STAGING_ALLOC_BUDGET}"
+        ),
+    );
+
     // Kernel totals from the timing hooks: present and plausible (nonzero,
     // not larger than total busy time across all workers could explain).
     let kernels = doc
@@ -483,12 +587,14 @@ fn diff_engine() -> Result<(), String> {
     if failures.is_empty() {
         println!(
             "engine gate: OK ({} epochs, {:.1}% H2D saved by the cache, staging \
-             allocs warm {:.1}/epoch, steady {:.1}/epoch vs {:.1} sequential)",
+             allocs warm {:.1}/epoch, steady {:.1}/epoch vs {:.1} sequential; \
+             R={replicas} replicas, {:.1}% remote bytes saved by locality)",
             epochs,
             100.0 * (1.0 - cached.iter().sum::<f64>() / nocache.iter().sum::<f64>()),
             eng_warm,
             eng_steady,
-            seq_warm
+            seq_warm,
+            100.0 * (1.0 - remote.iter().sum::<f64>() / remote_blind.iter().sum::<f64>()),
         );
         Ok(())
     } else {

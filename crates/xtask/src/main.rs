@@ -32,10 +32,12 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  profile <quickstart|pipeline|engine> [--timing [--allocs]] [--epochs N]
+  profile <quickstart|pipeline|engine> [--timing [--allocs]] [--epochs N] [--replicas R]
       run a workload under samply (default) or with timing hooks (--timing);
-      --allocs adds a per-stage heap-allocation breakdown
-  profile-exec <workload> [--epochs N]
+      --allocs adds a per-stage heap-allocation breakdown; --replicas R runs
+      the engine workload data-parallel over an R-way graph partition with
+      per-replica per-stage tables
+  profile-exec <workload> [--epochs N] [--replicas R]
       run the workload inline (what samply wraps)
   bench-kernels [--update]
       run the kernel microbench; --update rewrites BENCH_kernels.json
@@ -62,6 +64,24 @@ fn parse_epochs(args: &[String]) -> Result<usize, String> {
     }
 }
 
+fn parse_replicas(args: &[String], workload: Workload) -> Result<usize, String> {
+    let replicas = match args.iter().position(|a| a == "--replicas") {
+        None => 1,
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--replicas needs a value".to_string())?
+            .parse::<usize>()
+            .map_err(|e| format!("bad --replicas value: {e}"))?,
+    };
+    if replicas == 0 {
+        return Err("--replicas must be >= 1".into());
+    }
+    if replicas > 1 && workload != Workload::Engine {
+        return Err("--replicas applies to the 'engine' workload only".into());
+    }
+    Ok(replicas)
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -73,16 +93,27 @@ fn run() -> Result<(), String> {
             let name = rest.first().ok_or(USAGE.to_string())?;
             let workload = Workload::parse(name)?;
             let epochs = parse_epochs(rest)?;
+            let replicas = parse_replicas(rest, workload)?;
             if rest.iter().any(|a| a == "--timing") {
-                profile::timing_run(workload, epochs, rest.iter().any(|a| a == "--allocs"));
+                profile::timing_run(
+                    workload,
+                    epochs,
+                    replicas,
+                    rest.iter().any(|a| a == "--allocs"),
+                );
                 Ok(())
             } else {
-                profile::profile(workload, epochs)
+                profile::profile(workload, epochs, replicas)
             }
         }
         "profile-exec" => {
             let name = rest.first().ok_or(USAGE.to_string())?;
-            profile::exec(Workload::parse(name)?, parse_epochs(rest)?);
+            let workload = Workload::parse(name)?;
+            profile::exec(
+                workload,
+                parse_epochs(rest)?,
+                parse_replicas(rest, workload)?,
+            );
             Ok(())
         }
         "bench-kernels" => benchdiff::bench_kernels(rest.iter().any(|a| a == "--update")),

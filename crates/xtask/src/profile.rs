@@ -9,6 +9,7 @@
 
 use neutron_core::engine::{EngineConfig, TrainingEngine};
 use neutron_core::pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
+use neutron_core::replica::{ReplicatedConfig, ReplicatedEngine, ReplicatedSessionReport};
 use neutron_core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
 use neutron_graph::DatasetSpec;
 use neutron_nn::LayerKind;
@@ -75,10 +76,44 @@ fn scaled_trainer(spec: &DatasetSpec) -> ConvergenceTrainer {
     ConvergenceTrainer::new(spec.build_full(), config)
 }
 
+/// Per-epoch stage reports plus, for `--replicas R > 1`, the replicated
+/// session with its per-replica breakdown.
+struct RunOutput {
+    reports: Vec<PipelineReport>,
+    replicated: Option<ReplicatedSessionReport>,
+}
+
 /// Runs the workload inline and returns the per-epoch stage reports it
 /// produced (empty for workloads without a pipeline).
-fn run_workload(workload: Workload, epochs: usize) -> Vec<PipelineReport> {
-    match workload {
+fn run_workload(workload: Workload, epochs: usize, replicas: usize) -> RunOutput {
+    if replicas > 1 {
+        // Data-parallel engine over an R-way hash partition (the main.rs
+        // arg parser rejects --replicas for the other workloads).
+        assert_eq!(workload, Workload::Engine);
+        let spec = scaled_spec();
+        let mut trainer = scaled_trainer(&spec);
+        let engine = ReplicatedEngine::new(ReplicatedConfig {
+            replicas,
+            ..ReplicatedConfig::default()
+        });
+        let session = engine.run_session(&mut trainer, 0, epochs);
+        for run in &session.epochs {
+            println!(
+                "epoch {}: loss {:.4}, {:.2}s ({} steps, {:.2} MiB all-reduce, {:.2} MiB remote)",
+                run.epoch,
+                run.observation.train_loss,
+                run.report.epoch_seconds,
+                run.steps,
+                run.allreduce_bytes as f64 / (1u64 << 20) as f64,
+                run.remote_feature_bytes as f64 / (1u64 << 20) as f64,
+            );
+        }
+        return RunOutput {
+            reports: session.epochs.iter().map(|r| r.report.clone()).collect(),
+            replicated: Some(session),
+        };
+    }
+    let reports = match workload {
         Workload::Quickstart => {
             let spec = DatasetSpec::reddit_convergence();
             let policy = ReusePolicy::HotnessAware {
@@ -124,14 +159,21 @@ fn run_workload(workload: Workload, epochs: usize) -> Vec<PipelineReport> {
             }
             session.epochs.into_iter().map(|r| r.report).collect()
         }
+    };
+    RunOutput {
+        reports,
+        replicated: None,
     }
 }
 
 /// `xtask profile-exec`: the inline runner `samply record` wraps.
-pub fn exec(workload: Workload, epochs: usize) {
-    println!("running workload '{}' for {epochs} epochs", workload.name());
+pub fn exec(workload: Workload, epochs: usize, replicas: usize) {
+    println!(
+        "running workload '{}' for {epochs} epochs (replicas: {replicas})",
+        workload.name()
+    );
     let t0 = Instant::now();
-    run_workload(workload, epochs);
+    run_workload(workload, epochs, replicas);
     println!("workload done in {:.2}s", t0.elapsed().as_secs_f64());
 }
 
@@ -139,7 +181,7 @@ pub fn exec(workload: Workload, epochs: usize) {
 /// tensor timing hooks enabled and print the per-stage / per-kernel
 /// breakdown, plus (with `--allocs`) a per-stage heap-allocation table
 /// from the counting allocator xtask installs.
-pub fn timing_run(workload: Workload, epochs: usize, allocs: bool) {
+pub fn timing_run(workload: Workload, epochs: usize, replicas: usize, allocs: bool) {
     timing::reset();
     timing::set_enabled(true);
     if allocs {
@@ -147,7 +189,8 @@ pub fn timing_run(workload: Workload, epochs: usize, allocs: bool) {
         alloc::set_enabled(true);
     }
     let t0 = Instant::now();
-    let reports = run_workload(workload, epochs);
+    let out = run_workload(workload, epochs, replicas);
+    let reports = out.reports;
     let wall = t0.elapsed().as_secs_f64();
     timing::set_enabled(false);
     alloc::set_enabled(false);
@@ -175,6 +218,58 @@ pub fn timing_run(workload: Workload, epochs: usize, allocs: bool) {
             );
         }
         println!("  {:<22} {epoch_secs:>8.3}s", "epoch wall total");
+    }
+
+    if let Some(session) = &out.replicated {
+        const MIB: f64 = (1u64 << 20) as f64;
+        println!(
+            "\nper-replica per-stage busy seconds ({} replicas, {epochs} epochs; \
+             partition cut {:.2}, balance {:.2}):",
+            session.replicas, session.partition_cut_fraction, session.partition_balance
+        );
+        println!(
+            "  replica    sample    gather  transfer    h2d_MiB  remote_MiB  remote_picks  batches"
+        );
+        for rep in 0..session.replicas {
+            let (mut sample, mut gather, mut transfer) = (0.0f64, 0.0f64, 0.0f64);
+            let (mut h2d, mut remote, mut picks) = (0u64, 0u64, 0u64);
+            let mut batches = 0usize;
+            for run in &session.epochs {
+                let s = &run.per_replica[rep];
+                sample += s.sample_seconds;
+                gather += s.gather_seconds;
+                transfer += s.transfer_seconds;
+                h2d += s.h2d_bytes;
+                remote += s.remote_feature_bytes;
+                picks += s.remote_picks;
+                batches += s.batches;
+            }
+            println!(
+                "  {rep:>7} {sample:>8.3}s {gather:>8.3}s {transfer:>8.3}s {:>10.1} {:>11.1} {picks:>13} {batches:>8}",
+                h2d as f64 / MIB,
+                remote as f64 / MIB,
+            );
+        }
+        let allreduce: u64 = session.epochs.iter().map(|r| r.allreduce_bytes).sum();
+        let interconnect: f64 = session.epochs.iter().map(|r| r.interconnect_seconds).sum();
+        println!(
+            "  all-reduce {:.2} MiB over the run, simulated interconnect {:.4}s \
+             (model {} B, ring)",
+            allreduce as f64 / MIB,
+            interconnect,
+            session.model_bytes
+        );
+        if allocs {
+            // The per-stage alloc counters below are process-global, i.e.
+            // summed across every replica's workers; the per-epoch staging
+            // series here is the replicated engine's own window.
+            let staging: Vec<u64> = session
+                .epochs
+                .iter()
+                .map(|r| r.allocs.staging_allocs())
+                .collect();
+            println!("  staging allocs per epoch (all replicas): {staging:?}");
+        }
     }
 
     println!("\nper-kernel seconds (tensor timing hooks):");
@@ -222,7 +317,7 @@ pub fn timing_run(workload: Workload, epochs: usize, allocs: bool) {
 }
 
 /// `xtask profile <workload>`: wrap the inline runner in `samply record`.
-pub fn profile(workload: Workload, epochs: usize) -> Result<(), String> {
+pub fn profile(workload: Workload, epochs: usize, replicas: usize) -> Result<(), String> {
     let have_samply = Command::new("sh")
         .args(["-c", "command -v samply"])
         .output()
@@ -244,6 +339,8 @@ pub fn profile(workload: Workload, epochs: usize) -> Result<(), String> {
             workload.name(),
             "--epochs",
             &epochs.to_string(),
+            "--replicas",
+            &replicas.to_string(),
         ])
         .status()
         .map_err(|e| format!("failed to launch samply: {e}"))?;

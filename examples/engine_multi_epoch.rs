@@ -32,8 +32,10 @@
 use neutronorch::core::engine::{EngineConfig, TrainingEngine};
 use neutronorch::core::pipeline::{PipelineConfig, PipelineExecutor};
 use neutronorch::core::refresh::RefreshTask;
+use neutronorch::core::replica::{ReplicatedConfig, ReplicatedEngine};
 use neutronorch::core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
 use neutronorch::graph::DatasetSpec;
+use neutronorch::hetero::InterconnectSpec;
 use neutronorch::nn::layers::Layer;
 use neutronorch::nn::LayerKind;
 use neutronorch::tensor::{alloc, timing};
@@ -346,6 +348,97 @@ fn main() {
         PR3_RESPAWN_WARM_MEAN_SECONDS / warm(&respawn_secs),
     );
 
+    // --- Data-parallel replicas over the hash-partitioned graph. --------
+    // R=1 must reproduce the sequential trajectory bit-for-bit (asserted:
+    // one partition owns everything, gradient averaging degenerates to the
+    // identity). R=2 runs twice — locality-aware and locality-blind
+    // sampling — to measure what preferring partition-local neighbors
+    // saves on the simulated inter-replica interconnect (ethernet-class,
+    // priced separately from the PCIe H2D link above).
+    alloc::set_enabled(true);
+    let replicated = |replicas: usize, locality_aware: bool| {
+        let engine = ReplicatedEngine::new(ReplicatedConfig {
+            pipeline: PipelineConfig {
+                sampler_threads: 1,
+                gather_threads: 1,
+                channel_depth: 4,
+                h2d_gibps,
+            },
+            replicas,
+            locality_aware,
+            gpu_free_bytes: 64 << 20,
+            interconnect: InterconnectSpec::ethernet_like(),
+            ..ReplicatedConfig::default()
+        });
+        let mut t = trainer(&spec);
+        engine.run_session(&mut t, 0, EPOCHS)
+    };
+    let r1 = replicated(1, true);
+    for (e, run) in r1.epochs.iter().enumerate() {
+        assert_eq!(
+            run.observation.train_loss, seq_loss[e],
+            "R=1 replicated engine diverged at epoch {e}"
+        );
+        assert_eq!(run.allreduce_bytes, 0, "R=1 never all-reduces");
+        assert_eq!(
+            run.remote_feature_bytes, 0,
+            "one partition has no remote vertices"
+        );
+    }
+    const REPLICAS: usize = 2;
+    let r2 = replicated(REPLICAS, true);
+    let r2_blind = replicated(REPLICAS, false);
+    alloc::set_enabled(false);
+    println!(
+        "\nreplicated engine (R={REPLICAS}, ethernet-class interconnect, partition cut {:.2}, balance {:.2}):",
+        r2.partition_cut_fraction, r2.partition_balance
+    );
+    println!("epoch  steps  allreduce_MiB  remote_MiB (blind)  interconnect_s  loss");
+    for (e, run) in r2.epochs.iter().enumerate() {
+        // Ring all-reduce wire volume is closed-form; assert it rather
+        // than trusting the recorded counter.
+        assert_eq!(
+            run.allreduce_bytes,
+            run.steps as u64 * 2 * (REPLICAS as u64 - 1) * r2.model_bytes,
+            "epoch {e}: ring all-reduce byte accounting drifted"
+        );
+        println!(
+            "{e:>5}  {:>5}  {:>13.2}  {:>10.2} ({:>5.2})  {:>14.4}  {:.4}",
+            run.steps,
+            run.allreduce_bytes as f64 / (1u64 << 20) as f64,
+            run.remote_feature_bytes as f64 / (1u64 << 20) as f64,
+            r2_blind.epochs[e].remote_feature_bytes as f64 / (1u64 << 20) as f64,
+            run.interconnect_seconds,
+            run.observation.train_loss,
+        );
+    }
+    let remote_aware: u64 = r2.remote_bytes_trajectory().iter().sum();
+    let remote_blind: u64 = r2_blind.remote_bytes_trajectory().iter().sum();
+    // Sampling is seeded, so the pulled-row accounting is deterministic:
+    // locality-aware sampling must save remote feature bytes outright.
+    assert!(
+        remote_aware < remote_blind,
+        "locality-aware sampling must cut remote feature bytes ({remote_aware} vs {remote_blind})"
+    );
+    println!(
+        "locality-aware sampling pulls {:.1} MiB of remote features vs {:.1} MiB blind ({:.1}% saved)",
+        remote_aware as f64 / (1u64 << 20) as f64,
+        remote_blind as f64 / (1u64 << 20) as f64,
+        100.0 * (remote_blind - remote_aware) as f64 / remote_blind as f64,
+    );
+    let replicated_staging_allocs: Vec<u64> = r2
+        .epochs
+        .iter()
+        .map(|r| r.allocs.staging_allocs())
+        .collect();
+    if alloc_counting {
+        println!(
+            "replicated staging allocs per epoch (R={REPLICAS}, pooled): {:?} (warm mean {:.1})",
+            replicated_staging_allocs,
+            warm_u64(&replicated_staging_allocs)
+        );
+    }
+
     // --- Record the baseline. -------------------------------------------
     let report_series = |f: &dyn Fn(&neutronorch::core::pipeline::PipelineReport) -> f64| {
         fmt_series(
@@ -400,8 +493,38 @@ fn main() {
     let seq_staging_json = fmt_series_u64(&seq_staging_allocs);
     let eng_staging_json = fmt_series_u64(&engine_staging_allocs);
     let eng_warm_staging = format!("{:.1}", warm_u64(&engine_staging_allocs));
+    // Replicated (R=2) series: steps, wire bytes, interconnect pricing and
+    // the per-replica staging busy time (sample+gather+transfer seconds).
+    let repl_steps_json =
+        fmt_series_u64(&r2.epochs.iter().map(|r| r.steps as u64).collect::<Vec<_>>());
+    let allreduce_json = fmt_series_u64(&r2.allreduce_bytes_trajectory());
+    let remote_json = fmt_series_u64(&r2.remote_bytes_trajectory());
+    let remote_blind_json = fmt_series_u64(&r2_blind.remote_bytes_trajectory());
+    let interconnect_json = fmt_series(
+        &r2.epochs
+            .iter()
+            .map(|r| r.interconnect_seconds)
+            .collect::<Vec<_>>(),
+    );
+    let replica_epoch_json = {
+        let rows: Vec<String> = (0..REPLICAS)
+            .map(|rep| {
+                let series: Vec<f64> = r2
+                    .epochs
+                    .iter()
+                    .map(|run| {
+                        let s = &run.per_replica[rep];
+                        s.sample_seconds + s.gather_seconds + s.transfer_seconds
+                    })
+                    .collect();
+                format!("    \"replica{rep}\": {}", fmt_series(&series))
+            })
+            .collect();
+        format!("{{\n{}\n  }}", rows.join(",\n"))
+    };
+    let repl_staging_json = fmt_series_u64(&replicated_staging_allocs);
     let json = format!(
-        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"gpu_cache_budget_bytes\": {},\n  \"occupancy_ewma_alpha\": {},\n  \"split_hysteresis\": {},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"pr3_engine_warm_mean_seconds\": {PR3_ENGINE_WARM_MEAN_SECONDS},\n  \"pr3_respawn_warm_mean_seconds\": {PR3_RESPAWN_WARM_MEAN_SECONDS},\n  \"engine_warm_speedup_vs_pr3\": {:.2},\n  \"stage_seconds\": {stage_seconds},\n  \"kernel_seconds\": {kernel_seconds},\n  \"alloc_counting\": {alloc_counting},\n  \"allocs_per_epoch\": {allocs_per_epoch},\n  \"alloc_bytes_per_epoch\": {alloc_bytes_per_epoch},\n  \"sequential_staging_allocs_per_epoch\": {seq_staging_json},\n  \"engine_staging_allocs_per_epoch\": {eng_staging_json},\n  \"engine_warm_staging_allocs_per_epoch\": {eng_warm_staging},\n  \"refresh_sharded\": {refresh_sharded},\n  \"adaptive_cpu_fraction\": {},\n  \"smoothed_occupancy\": {},\n  \"cached_vertices_per_epoch\": {},\n  \"cache_hits_per_epoch\": {},\n  \"cache_misses_per_epoch\": {},\n  \"h2d_bytes_per_epoch\": {},\n  \"h2d_bytes_per_epoch_nocache\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
+        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"gpu_cache_budget_bytes\": {},\n  \"occupancy_ewma_alpha\": {},\n  \"split_hysteresis\": {},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"pr3_engine_warm_mean_seconds\": {PR3_ENGINE_WARM_MEAN_SECONDS},\n  \"pr3_respawn_warm_mean_seconds\": {PR3_RESPAWN_WARM_MEAN_SECONDS},\n  \"engine_warm_speedup_vs_pr3\": {:.2},\n  \"stage_seconds\": {stage_seconds},\n  \"kernel_seconds\": {kernel_seconds},\n  \"alloc_counting\": {alloc_counting},\n  \"allocs_per_epoch\": {allocs_per_epoch},\n  \"alloc_bytes_per_epoch\": {alloc_bytes_per_epoch},\n  \"sequential_staging_allocs_per_epoch\": {seq_staging_json},\n  \"engine_staging_allocs_per_epoch\": {eng_staging_json},\n  \"engine_warm_staging_allocs_per_epoch\": {eng_warm_staging},\n  \"replicas\": {REPLICAS},\n  \"model_bytes\": {},\n  \"partition_cut_fraction\": {:.4},\n  \"partition_balance\": {:.4},\n  \"replicated_r1_matches_sequential\": true,\n  \"replica_steps_per_epoch\": {repl_steps_json},\n  \"allreduce_bytes_per_epoch\": {allreduce_json},\n  \"remote_feature_bytes_per_epoch\": {remote_json},\n  \"remote_feature_bytes_per_epoch_blind\": {remote_blind_json},\n  \"interconnect_seconds_per_epoch\": {interconnect_json},\n  \"replica_epoch_seconds\": {replica_epoch_json},\n  \"replicated_staging_allocs_per_epoch\": {repl_staging_json},\n  \"refresh_sharded\": {refresh_sharded},\n  \"adaptive_cpu_fraction\": {},\n  \"smoothed_occupancy\": {},\n  \"cached_vertices_per_epoch\": {},\n  \"cache_hits_per_epoch\": {},\n  \"cache_misses_per_epoch\": {},\n  \"h2d_bytes_per_epoch\": {},\n  \"h2d_bytes_per_epoch_nocache\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
         spec.name,
         spec.vertices,
         EPOCHS,
@@ -419,6 +542,9 @@ fn main() {
         warm(&engine_secs),
         warm(&respawn_secs),
         PR3_ENGINE_WARM_MEAN_SECONDS / warm(&engine_secs),
+        r2.model_bytes,
+        r2.partition_cut_fraction,
+        r2.partition_balance,
         fmt_series(&traj),
         fmt_series(&session.epochs.iter().map(|r| r.smoothed_occupancy).collect::<Vec<_>>()),
         fmt_series_u64(&session.epochs.iter().map(|r| r.cache_vertices as u64).collect::<Vec<_>>()),

@@ -14,6 +14,7 @@
 
 use neutronorch::core::engine::{EngineConfig, TrainingEngine};
 use neutronorch::core::pipeline::{PipelineConfig, PipelineExecutor};
+use neutronorch::core::replica::{ReplicatedConfig, ReplicatedEngine};
 use neutronorch::core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
 use neutronorch::graph::DatasetSpec;
 use neutronorch::nn::LayerKind;
@@ -82,6 +83,24 @@ fn warm_engine_epochs_stay_inside_the_staging_alloc_budget() {
         ..EngineConfig::default()
     });
     let session = engine.run_session(&mut eng, 0, epochs);
+
+    // Data-parallel engine at R=2: both replicas run the same pooled
+    // staging path, so the process-wide per-epoch window (the counters are
+    // global, per-replica attribution is not tracked) must hold R times
+    // the single-engine ceiling on warm epochs.
+    let replicas = 2;
+    let mut rep = trainer();
+    let replicated = ReplicatedEngine::new(ReplicatedConfig {
+        pipeline: PipelineConfig {
+            sampler_threads: 1,
+            gather_threads: 1,
+            channel_depth: 3,
+            h2d_gibps: 0.0,
+        },
+        replicas,
+        ..ReplicatedConfig::default()
+    });
+    let rep_session = replicated.run_session(&mut rep, 0, epochs);
     alloc::set_enabled(false);
 
     assert_eq!(session.epochs.len(), epochs);
@@ -108,6 +127,23 @@ fn warm_engine_epochs_stay_inside_the_staging_alloc_budget() {
              expected at least {MIN_IMPROVEMENT}x fewer on the pooled path",
             run.epoch,
             seq_staging[run.epoch]
+        );
+    }
+
+    assert_eq!(rep_session.epochs.len(), epochs);
+    let replicated_budget = replicas as u64 * WARM_STAGING_ALLOC_BUDGET;
+    for run in &rep_session.epochs[1..] {
+        let staging = run.allocs.staging_allocs();
+        println!(
+            "replicated (R={replicas}) epoch {}: staging allocs {staging} \
+             (budget {replicated_budget})",
+            run.epoch
+        );
+        assert!(
+            staging <= replicated_budget,
+            "warm replicated epoch {} staged {staging} allocs across {replicas} replicas, \
+             budget {replicated_budget} — did a pooled path regress to allocating?",
+            run.epoch
         );
     }
 }

@@ -6,8 +6,10 @@
 
 use neutronorch::core::engine::{EngineConfig, TrainingEngine};
 use neutronorch::core::pipeline::{PipelineConfig, PipelineExecutor};
+use neutronorch::core::replica::{ReplicatedConfig, ReplicatedEngine};
 use neutronorch::core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
 use neutronorch::graph::DatasetSpec;
+use neutronorch::hetero::InterconnectSpec;
 use neutronorch::nn::LayerKind;
 use proptest::prelude::*;
 
@@ -323,6 +325,130 @@ fn double_buffered_refresh_gap_spans_n_to_2n() {
         "gap {max_gap} < n = {n}: refresh was not deferred one super-batch"
     );
     assert!(t.embedding_reuses() > 0, "hot embeddings must be reused");
+}
+
+/// The data-parallel acceptance criterion: a replicated session at R=1 is
+/// bit-identical to the single-replica engine session — at every staging
+/// depth, buffer-pool size, per-replica cache budget and locality setting.
+/// A 1-way partition owns everything, so the batch stream, the sampling
+/// seeds and the one-replica train path are all literally the
+/// single-replica ones.
+#[test]
+fn replicated_r1_is_bit_identical_to_the_engine_session() {
+    let policy = || ReusePolicy::HotnessAware {
+        hot_ratio: 0.3,
+        super_batch: 2,
+    };
+    let epochs = 3;
+    let mut single = trainer(policy());
+    let reference = engine(2, 2, true).run_session(&mut single, 0, epochs);
+    for (depth, pool, budget, locality) in [
+        (1usize, 0usize, 0u64, true),
+        (3, 1, 48 << 10, false),
+        (4, 16, 64 << 20, true),
+    ] {
+        let mut t = trainer(policy());
+        let mut cfg = ReplicatedConfig {
+            replicas: 1,
+            locality_aware: locality,
+            gpu_free_bytes: budget,
+            pool_batches: pool,
+            ..ReplicatedConfig::default()
+        };
+        cfg.pipeline.channel_depth = depth;
+        let session = ReplicatedEngine::new(cfg).run_session(&mut t, 0, epochs);
+        for (run, want) in session.epochs.iter().zip(&reference.epochs) {
+            assert_eq!(
+                run.observation.train_loss, want.observation.train_loss,
+                "epoch {} loss diverged at depth={depth} pool={pool} budget={budget} locality={locality}",
+                run.epoch
+            );
+            assert_eq!(
+                run.observation.test_accuracy, want.observation.test_accuracy,
+                "epoch {} accuracy diverged at depth={depth} pool={pool} budget={budget} locality={locality}",
+                run.epoch
+            );
+            assert_eq!(run.allreduce_bytes, 0, "R=1 must not exchange gradients");
+            assert_eq!(run.remote_feature_bytes, 0, "R=1 owns every vertex");
+        }
+    }
+}
+
+/// R ∈ {2, 4} sessions replay exactly across repeats: losses, remote
+/// feature bytes and all-reduce bytes are all pure functions of the seed,
+/// the partition and the replica count — and the all-reduce series obeys
+/// the closed-form `steps × 2(R−1) × model_bytes` law on both fabrics.
+#[test]
+fn replicated_sessions_are_deterministic_at_r2_and_r4() {
+    let run = |replicas: usize, link: InterconnectSpec| {
+        let mut t = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.3,
+            super_batch: 2,
+        });
+        let cfg = ReplicatedConfig {
+            replicas,
+            interconnect: link,
+            ..ReplicatedConfig::default()
+        };
+        ReplicatedEngine::new(cfg).run_session(&mut t, 0, 3)
+    };
+    for replicas in [2usize, 4] {
+        let a = run(replicas, InterconnectSpec::nvlink_like());
+        let b = run(replicas, InterconnectSpec::nvlink_like());
+        assert_eq!(a.loss_trajectory(), b.loss_trajectory(), "R={replicas}");
+        assert_eq!(a.remote_bytes_trajectory(), b.remote_bytes_trajectory());
+        assert_eq!(
+            a.allreduce_bytes_trajectory(),
+            b.allreduce_bytes_trajectory()
+        );
+        for run in &a.epochs {
+            assert_eq!(
+                run.allreduce_bytes,
+                run.steps as u64 * 2 * (replicas as u64 - 1) * a.model_bytes,
+                "ring all-reduce law broken at R={replicas}"
+            );
+            assert!(run.remote_feature_bytes > 0, "a hash cut pulls remote rows");
+        }
+        // The interconnect model only reprices the same bytes: a slower
+        // fabric must cost more simulated seconds on an identical run.
+        let slow = run(replicas, InterconnectSpec::ethernet_like());
+        assert_eq!(a.loss_trajectory(), slow.loss_trajectory());
+        assert_eq!(a.remote_bytes_trajectory(), slow.remote_bytes_trajectory());
+        for (fast, eth) in a.epochs.iter().zip(&slow.epochs) {
+            assert!(eth.interconnect_seconds > fast.interconnect_seconds);
+        }
+    }
+}
+
+/// Partition-aware sampling must *measurably* cut the remote-feature
+/// traffic versus the locality-blind ablation, without touching the PCIe
+/// byte accounting invariants.
+#[test]
+fn locality_aware_sampling_reduces_remote_feature_bytes() {
+    let run = |locality: bool| {
+        let mut t = trainer(ReusePolicy::HotnessAware {
+            hot_ratio: 0.3,
+            super_batch: 2,
+        });
+        let cfg = ReplicatedConfig {
+            replicas: 2,
+            locality_aware: locality,
+            ..ReplicatedConfig::default()
+        };
+        ReplicatedEngine::new(cfg).run_session(&mut t, 0, 2)
+    };
+    let aware = run(true);
+    let blind = run(false);
+    let aware_bytes: u64 = aware.remote_bytes_trajectory().iter().sum();
+    let blind_bytes: u64 = blind.remote_bytes_trajectory().iter().sum();
+    assert!(
+        aware_bytes < blind_bytes,
+        "locality-aware sampling must pull fewer remote rows: {aware_bytes} vs {blind_bytes}"
+    );
+    for run in aware.epochs.iter().chain(&blind.epochs) {
+        let picked: u64 = run.per_replica.iter().map(|s| s.h2d_bytes).sum();
+        assert_eq!(picked, run.report.h2d_bytes, "per-replica bytes must sum");
+    }
 }
 
 proptest! {

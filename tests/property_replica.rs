@@ -1,0 +1,137 @@
+//! Property tests of the data-parallel building blocks: partitioning
+//! (every vertex lands in exactly one partition, cut statistics are
+//! symmetric and deterministic) and gradient tree-averaging (R identical
+//! replicas are bit-identical to one, the reduction is invariant to
+//! arrival order whenever the arithmetic is exact, degenerate shapes —
+//! 0-row gradients, single-parameter models — survive).
+
+use neutronorch::graph::generate::erdos_renyi;
+use neutronorch::graph::partition::hash_partition;
+use neutronorch::nn::tree_average;
+use neutronorch::tensor::Matrix;
+use proptest::prelude::*;
+
+/// Gradient sets whose entries are small integers: sums of up to eight of
+/// them are exact in f32, so reduction-order invariance must be *bitwise*.
+fn integer_gradset(params: usize, rows: usize, cols: usize) -> impl Strategy<Value = Vec<Matrix>> {
+    let cells = rows * cols;
+    let one = proptest::collection::vec(0u32..17, cells..cells + 1).prop_map(move |v| {
+        Matrix::from_vec(rows, cols, v.into_iter().map(|x| x as f32 - 8.0).collect())
+    });
+    proptest::collection::vec(one, params..params + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every vertex is owned by exactly one partition: owners are in
+    /// range, the size histogram sums to the vertex count, and `members`
+    /// lists are disjoint and complete.
+    #[test]
+    fn every_vertex_lands_in_exactly_one_partition(
+        num_vertices in 1usize..600,
+        parts in 1usize..7,
+    ) {
+        let p = hash_partition(num_vertices, parts);
+        prop_assert_eq!(p.assignment.len(), num_vertices);
+        let sizes = p.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), num_vertices);
+        let mut seen = vec![0u32; num_vertices];
+        for part in 0..parts {
+            for v in p.members(part) {
+                prop_assert_eq!(p.owner(v), part);
+                seen[v as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "membership must be a partition");
+    }
+
+    /// Cut statistics: the cut matrix is symmetric, its upper triangle
+    /// sums to the cut-edge count, the cut fraction agrees with the
+    /// legacy `edge_cut_fraction`, and recomputing is deterministic.
+    #[test]
+    fn cut_statistics_are_symmetric_and_deterministic(
+        num_vertices in 2usize..300,
+        edge_factor in 1usize..8,
+        parts in 1usize..5,
+        seed in 0u64..64,
+    ) {
+        let g = erdos_renyi(num_vertices, num_vertices * edge_factor, seed);
+        let p = hash_partition(num_vertices, parts);
+        let stats = p.stats(&g);
+        prop_assert_eq!(stats.parts, parts);
+        let mut upper = 0u64;
+        for a in 0..parts {
+            for b in 0..parts {
+                prop_assert_eq!(
+                    stats.cut_between(a, b),
+                    stats.cut_between(b, a),
+                    "cut matrix must be symmetric at ({}, {})", a, b
+                );
+                if a < b {
+                    upper += stats.cut_between(a, b);
+                }
+            }
+            prop_assert_eq!(stats.cut_between(a, a), 0, "diagonal is not a cut");
+        }
+        prop_assert_eq!(upper, stats.cut_edges);
+        prop_assert!((stats.cut_fraction() - p.edge_cut_fraction(&g)).abs() < 1e-12);
+        prop_assert!(stats.balance() >= 1.0 - 1e-12);
+        let again = p.stats(&g);
+        prop_assert_eq!(stats, again);
+    }
+
+    /// Averaging R identical replicas is bit-identical to the single
+    /// replica for any power-of-two R: the stride-doubling tree sums
+    /// exact doublings (x + x = 2x) and divides by an exactly
+    /// representable 1/R.
+    #[test]
+    fn identical_replicas_average_to_the_single_replica(
+        grads in integer_gradset(2, 3, 4),
+        log_r in 0u32..4,
+    ) {
+        let replicas = 1usize << log_r;
+        let groups: Vec<_> = (0..replicas).map(|_| grads.clone()).collect();
+        let averaged = tree_average(groups);
+        prop_assert_eq!(averaged.len(), grads.len());
+        for (got, want) in averaged.iter().zip(&grads) {
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
+    /// With exactly-summable values the reduction is invariant to the
+    /// order replicas arrive in: any rotation of the replica list yields
+    /// the bitwise-same average. (The engine additionally pins arrival
+    /// order, so this property is belt *and* suspenders.)
+    #[test]
+    fn arrival_order_cannot_change_an_exact_average(
+        grads in proptest::collection::vec(integer_gradset(1, 2, 3), 2..6),
+        rotate in 0usize..6,
+    ) {
+        let baseline = tree_average(grads.clone());
+        let mut rotated = grads.clone();
+        rotated.rotate_left(rotate % grads.len());
+        let shuffled = tree_average(rotated);
+        for (a, b) in baseline.iter().zip(&shuffled) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// Degenerate shapes survive: gradients with zero rows and
+    /// single-parameter models reduce without panicking and keep their
+    /// shapes.
+    #[test]
+    fn degenerate_gradient_shapes_reduce_cleanly(
+        replicas in 1usize..6,
+        cols in 1usize..5,
+    ) {
+        let zero_rows = vec![Matrix::zeros(0, cols)];
+        let averaged = tree_average(vec![zero_rows.clone(); replicas]);
+        prop_assert_eq!(averaged.len(), 1);
+        prop_assert_eq!(averaged[0].shape(), (0, cols));
+
+        let single_param = vec![Matrix::from_vec(1, 1, vec![2.0])];
+        let averaged = tree_average(vec![single_param; replicas]);
+        prop_assert_eq!(averaged[0].as_slice(), &[2.0][..]);
+    }
+}
