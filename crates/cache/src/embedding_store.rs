@@ -38,6 +38,26 @@ impl fmt::Display for StaleReadError {
 
 impl std::error::Error for StaleReadError {}
 
+/// A deterministic, order-stable image of a store's complete state — the
+/// unit a checkpoint serializes. Rows are sorted by vertex id because the
+/// backing `HashMap` iterates in arbitrary order; two snapshots of equal
+/// stores are therefore structurally equal, and restoring one reproduces
+/// every future read (values, version gaps *and* the gap/read counters)
+/// bit for bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreSnapshot {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Staleness bound, if any.
+    pub bound: Option<u64>,
+    /// `(vertex, row, version)` triples, ascending by vertex id.
+    pub rows: Vec<(VertexId, Vec<f32>, u64)>,
+    /// Largest version gap any successful read had observed.
+    pub max_observed_gap: u64,
+    /// Successful read count.
+    pub reads: u64,
+}
+
 /// Versioned per-vertex embedding rows.
 #[derive(Clone, Debug)]
 pub struct EmbeddingStore {
@@ -141,6 +161,38 @@ impl EmbeddingStore {
     pub fn bytes(&self) -> u64 {
         (self.entries.len() * self.dim * 4) as u64
     }
+
+    /// Captures the store's complete state, sorted by vertex id (the
+    /// backing map iterates in arbitrary order, so a checkpoint must not
+    /// serialize it directly).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let mut rows: Vec<(VertexId, Vec<f32>, u64)> = self
+            .entries
+            .iter()
+            .map(|(&v, (row, version))| (v, row.clone(), *version))
+            .collect();
+        rows.sort_unstable_by_key(|(v, _, _)| *v);
+        StoreSnapshot {
+            dim: self.dim,
+            bound: self.bound,
+            rows,
+            max_observed_gap: self.max_observed_gap,
+            reads: self.reads,
+        }
+    }
+
+    /// Rebuilds a store from a snapshot. The counters round-trip too, so a
+    /// restored trainer reports the same `max_observed_gap`/`reads` series
+    /// the uninterrupted run would.
+    pub fn from_snapshot(snap: &StoreSnapshot) -> Self {
+        let mut store = Self::new(snap.dim, snap.bound);
+        for (v, row, version) in &snap.rows {
+            store.put(*v, row.clone(), *version);
+        }
+        store.max_observed_gap = snap.max_observed_gap;
+        store.reads = snap.reads;
+        store
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +270,24 @@ mod tests {
     fn rejects_wrong_dimension() {
         let mut s = EmbeddingStore::new(2, None);
         s.put(0, vec![0.0; 3], 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_restores_counters() {
+        let mut s = EmbeddingStore::new(2, Some(7));
+        s.put(9, vec![9.0, 9.0], 3);
+        s.put(1, vec![1.0, 1.0], 5);
+        s.put(4, vec![4.0, 4.0], 2);
+        let _ = s.get(9, 6); // gap 3, one read
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.rows.iter().map(|(v, _, _)| *v).collect::<Vec<_>>(),
+            vec![1, 4, 9]
+        );
+        let restored = EmbeddingStore::from_snapshot(&snap);
+        assert_eq!(restored.max_observed_gap(), 3);
+        assert_eq!(restored.reads(), 1);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.snapshot(), snap, "round-trip is lossless");
     }
 }

@@ -51,6 +51,8 @@
 //!   parameter snapshot, so the loss trajectory is bit-identical to the
 //!   sequential trainer at every thread count and every split.
 
+use crate::checkpoint::{self, Checkpoint, CheckpointError};
+use crate::fault::{FailureAction, FailureEvent, FaultKind, FaultPlan};
 use crate::gather::{GatheredFeatures, StagedBatch};
 use crate::pipeline::{PipelineConfig, PipelineReport};
 use crate::pool::BatchBuffers;
@@ -60,7 +62,10 @@ use neutron_cache::{FeatureCache, HybridPolicy};
 use neutron_sample::{Block, BlockBuilder, EpochBatches, SamplerScratch};
 use neutron_tensor::alloc::{self, AllocSnapshot, Stage};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -163,12 +168,46 @@ impl<T> Bounded<T> {
         None
     }
 
+    /// Like [`Self::recv`], but gives up after `timeout` of continuous
+    /// emptiness — the supervisor's only way to tell a *stalled* producer
+    /// (alive but not progressing) from a merely slow one. A closed+drained
+    /// channel still reports [`RecvTimeout::Closed`] immediately.
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                self.not_full.notify_one();
+                return RecvTimeout::Item(item);
+            }
+            if st.closed {
+                return RecvTimeout::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvTimeout::TimedOut;
+            }
+            let (guard, _) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
     /// Marks the channel closed; receivers drain the queue then see `None`.
     pub(crate) fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
+}
+
+/// Outcome of [`Bounded::recv_timeout`].
+pub(crate) enum RecvTimeout<T> {
+    /// An item arrived within the timeout.
+    Item(T),
+    /// The channel is closed and drained — the producer exited.
+    Closed,
+    /// Nothing arrived for the whole timeout — the producer may be stalled.
+    TimedOut,
 }
 
 /// Accumulates busy nanoseconds across worker threads.
@@ -195,6 +234,142 @@ pub(crate) struct Defer<F: FnMut()>(pub(crate) F);
 impl<F: FnMut()> Drop for Defer<F> {
     fn drop(&mut self) {
         (self.0)();
+    }
+}
+
+/// Why a training session failed. Every variant is a *detected* failure:
+/// the session's supervisor turned a worker panic, a stall or a bad
+/// checkpoint into this typed error instead of hanging a `recv` forever.
+#[derive(Clone, Debug)]
+pub enum SessionError {
+    /// A stage worker panicked; the batch it held is lost and the pipeline
+    /// was poisoned so every other stage unblocked.
+    WorkerPanicked {
+        /// Stage the panicking worker belonged to.
+        stage: &'static str,
+        /// The panic payload (stringified).
+        message: String,
+    },
+    /// The pipeline stopped making progress: nothing reached the train
+    /// stage for the configured stall timeout while work remained.
+    Stalled {
+        /// Epoch being trained when progress stopped.
+        epoch: usize,
+        /// First batch index that never arrived.
+        step: usize,
+        /// The timeout that expired.
+        timeout: Duration,
+    },
+    /// A replica's worker died (panicked or exited early) mid-epoch and the
+    /// failure policy was [`crate::fault::FailurePolicy::Fail`].
+    ReplicaDied {
+        /// The replica that died.
+        replica: usize,
+        /// Epoch at detection.
+        epoch: usize,
+        /// Step (batch index) at detection.
+        step: usize,
+        /// What was detected.
+        detail: String,
+    },
+    /// Every replica died; no degradation policy can continue.
+    NoSurvivors {
+        /// Epoch at which the last replica was lost.
+        epoch: usize,
+    },
+    /// An epoch ended with fewer batches trained than scheduled and no
+    /// panic to blame — e.g. every worker of a stage exited cleanly.
+    EpochIncomplete {
+        /// The epoch that came up short.
+        epoch: usize,
+        /// Batches actually trained.
+        trained: usize,
+        /// Batches scheduled.
+        total: usize,
+    },
+    /// Writing or reading a checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::WorkerPanicked { stage, message } => {
+                write!(f, "{stage} worker panicked: {message}")
+            }
+            SessionError::Stalled {
+                epoch,
+                step,
+                timeout,
+            } => write!(
+                f,
+                "pipeline stalled in epoch {epoch}: batch {step} never arrived within {timeout:?}"
+            ),
+            SessionError::ReplicaDied {
+                replica,
+                epoch,
+                step,
+                detail,
+            } => write!(
+                f,
+                "replica {replica} died in epoch {epoch} at step {step}: {detail}"
+            ),
+            SessionError::NoSurvivors { epoch } => {
+                write!(f, "all replicas lost by epoch {epoch}")
+            }
+            SessionError::EpochIncomplete {
+                epoch,
+                trained,
+                total,
+            } => write!(
+                f,
+                "epoch {epoch} incomplete: trained {trained} of {total} batches"
+            ),
+            SessionError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
+    }
+}
+
+/// Shared scratch where panicking workers deposit their stage name and
+/// panic payload before poisoning the pipeline; the supervisor turns the
+/// first entry into [`SessionError::WorkerPanicked`].
+#[derive(Default)]
+pub(crate) struct FailureCell(Mutex<Vec<(&'static str, String)>>);
+
+impl FailureCell {
+    pub(crate) fn record(&self, stage: &'static str, message: String) {
+        self.0.lock().unwrap().push((stage, message));
+    }
+
+    pub(crate) fn first(&self) -> Option<SessionError> {
+        self.0
+            .lock()
+            .unwrap()
+            .first()
+            .map(|(stage, message)| SessionError::WorkerPanicked {
+                stage,
+                message: message.clone(),
+            })
+    }
+}
+
+/// Stringifies a panic payload (the `&str`/`String` cases panics actually
+/// carry; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -321,6 +496,13 @@ struct EpochReorder<'a> {
     live: usize,
     wait: Duration,
     peak: usize,
+    /// How long the train stage waits on an empty channel before declaring
+    /// the pipeline stalled.
+    stall_timeout: Duration,
+    /// Latched when a wait timed out: the feed ends and the supervisor
+    /// raises [`SessionError::Stalled`] instead of blocking forever on a
+    /// worker that will never produce.
+    stalled: bool,
 }
 
 impl<'a> EpochReorder<'a> {
@@ -328,6 +510,7 @@ impl<'a> EpochReorder<'a> {
         source: &'a Bounded<StagedBatch>,
         total: usize,
         window: &'a mut VecDeque<Option<StagedBatch>>,
+        stall_timeout: Duration,
     ) -> Self {
         window.clear(); // keeps capacity: steady-state epochs never regrow it
         Self {
@@ -338,6 +521,8 @@ impl<'a> EpochReorder<'a> {
             live: 0,
             wait: Duration::ZERO,
             peak: 0,
+            stall_timeout,
+            stalled: false,
         }
     }
 }
@@ -346,7 +531,7 @@ impl Iterator for EpochReorder<'_> {
     type Item = StagedBatch;
 
     fn next(&mut self) -> Option<StagedBatch> {
-        if self.remaining == 0 {
+        if self.remaining == 0 || self.stalled {
             return None;
         }
         loop {
@@ -358,10 +543,10 @@ impl Iterator for EpochReorder<'_> {
                 return Some(item);
             }
             let t0 = Instant::now();
-            let received = self.source.recv();
+            let received = self.source.recv_timeout(self.stall_timeout);
             self.wait += t0.elapsed();
             match received {
-                Some(item) => {
+                RecvTimeout::Item(item) => {
                     let offset = item.index - self.next_index;
                     while self.window.len() <= offset {
                         self.window.push_back(None);
@@ -370,7 +555,11 @@ impl Iterator for EpochReorder<'_> {
                     self.live += 1;
                     self.peak = self.peak.max(self.live);
                 }
-                None => return None,
+                RecvTimeout::Closed => return None,
+                RecvTimeout::TimedOut => {
+                    self.stalled = true;
+                    return None;
+                }
             }
         }
     }
@@ -389,6 +578,11 @@ struct WorkerRefresh<'a> {
     /// §4.1.3 feedback (the planner would keep hot vertices on the
     /// overloaded CPU instead of offloading them to the idle trainer).
     wait: Duration,
+    /// Set when [`Self::collect`] found the output channel closed with a
+    /// collect outstanding — the refresh worker died mid-task. The session
+    /// supervisor checks this after the epoch and fails the session (the
+    /// substituted empty output keeps the trainer unwedged until then).
+    failed: bool,
 }
 
 impl RefreshBackend for WorkerRefresh<'_> {
@@ -403,12 +597,21 @@ impl RefreshBackend for WorkerRefresh<'_> {
 
     fn collect(&mut self) -> RefreshOutput {
         let t0 = Instant::now();
-        let out = self
-            .outputs
-            .recv()
-            .expect("refresh worker lives for the whole session");
+        let out = self.outputs.recv();
         self.wait += t0.elapsed();
-        out
+        match out {
+            Some(out) => out,
+            // The refresh worker died between accepting the task and
+            // producing rows (panic path: its channels are poisoned). Do
+            // NOT panic here — that used to deadlock the other stages.
+            // Hand back an empty output so the train thread stays live and
+            // flag the failure for the supervisor to turn into a typed
+            // session error at the epoch boundary.
+            None => {
+                self.failed = true;
+                RefreshOutput::empty(0)
+            }
+        }
     }
 }
 
@@ -455,6 +658,21 @@ pub struct EngineConfig {
     /// bit-identical: a drained pool just means the sampler allocates
     /// fresh, exactly like the cold-start path.
     pub pool_batches: usize,
+    /// Write a checkpoint after every epoch whose (absolute) number + 1 is
+    /// a multiple of this. `0` disables checkpointing. The cadence keys on
+    /// the absolute epoch, so a restored session checkpoints at the same
+    /// boundaries the uninterrupted run would have.
+    pub checkpoint_every: usize,
+    /// Where the checkpoint file lives (atomically replaced at each write).
+    /// Checkpointing needs both this and a nonzero
+    /// [`Self::checkpoint_every`].
+    pub checkpoint_path: Option<PathBuf>,
+    /// Deterministic fault schedule consulted by the stage workers — test
+    /// and drill harness, `None` in production runs.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// How long the train stage tolerates an empty staging channel (with
+    /// work outstanding) before declaring the pipeline stalled.
+    pub stall_timeout: Duration,
 }
 
 impl EngineConfig {
@@ -497,6 +715,10 @@ impl Default for EngineConfig {
             split_hysteresis: 0.05,
             refresh_workers: 0,
             pool_batches: 0,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            fault_plan: None,
+            stall_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -537,6 +759,14 @@ pub struct EpochRun {
     /// zero unless a [`neutron_tensor::alloc::CountingAllocator`] is
     /// installed and enabled — see `BENCH_engine.json`'s `allocs_per_epoch`.
     pub allocs: AllocSnapshot,
+    /// Bytes of the checkpoint written at this epoch's boundary (0 when no
+    /// checkpoint was due).
+    pub checkpoint_bytes: u64,
+    /// Wall-clock spent capturing + writing that checkpoint — measured
+    /// outside `report.epoch_seconds`, so checkpoint cadence never skews
+    /// the throughput trajectory (it is gated separately by
+    /// `cargo xtask bench-diff`).
+    pub checkpoint_seconds: f64,
 }
 
 /// What a whole session produced.
@@ -602,12 +832,33 @@ impl TrainingEngine {
     /// `trainer.train_epoch(e)` (or the sequential executor) for the same
     /// epochs, at any thread count and any hybrid split — concurrency and
     /// the adaptive planner change wall-clock and placement, never results.
+    ///
+    /// Panics on session failure; use [`Self::run_session_checked`] to get
+    /// the typed error instead.
     pub fn run_session(
         &self,
         trainer: &mut ConvergenceTrainer,
         first_epoch: usize,
         num_epochs: usize,
     ) -> SessionReport {
+        self.run_session_checked(trainer, first_epoch, num_epochs)
+            .unwrap_or_else(|e| panic!("training session failed: {e}"))
+    }
+
+    /// [`Self::run_session`] with failures surfaced as [`SessionError`]
+    /// instead of panics: a panicking stage worker poisons the pipeline
+    /// (closing every staging channel so no stage can block forever on a
+    /// peer that died) and the session returns
+    /// [`SessionError::WorkerPanicked`] carrying the worker's stage and
+    /// panic payload; a producer that stops producing without exiting trips
+    /// the [`EngineConfig::stall_timeout`] and returns
+    /// [`SessionError::Stalled`].
+    pub fn run_session_checked(
+        &self,
+        trainer: &mut ConvergenceTrainer,
+        first_epoch: usize,
+        num_epochs: usize,
+    ) -> Result<SessionReport, SessionError> {
         let pcfg = &self.config.pipeline;
         let dataset = trainer.dataset_handle();
         let sampler = trainer.sampler().clone();
@@ -638,14 +889,43 @@ impl TrainingEngine {
         // samplers + gatherers + transfer + refresh, spawned exactly once.
         let workers_spawned = pcfg.sampler_threads + pcfg.gather_threads + 2;
 
+        // Fault-tolerance plumbing: where panicking workers report in, the
+        // failure/recovery timeline surfaced per epoch, the flag that frees
+        // an (injected) stalled worker at teardown so the scope can join
+        // it, and the deterministic fault schedule the workers consult.
+        let failures = FailureCell::default();
+        let timeline: Mutex<Vec<FailureEvent>> = Mutex::new(Vec::new());
+        let stall_release = AtomicBool::new(false);
+        let fault_plan = self.config.fault_plan.as_deref();
+        let checkpoint_on =
+            self.config.checkpoint_every > 0 && self.config.checkpoint_path.is_some();
+        let digest = checkpoint::config_digest(trainer.config(), 1);
+
+        // A panicking stage worker cannot just die: its peers may be
+        // blocked in `send` on a full channel only the dead worker
+        // would have drained (the liveness Defers handle *clean* exits,
+        // not a consumer that vanishes with its input open). Poisoning
+        // closes every staging channel so all stages unblock, then the
+        // supervisor reports the recorded panic as a typed error.
+        let poison = |stage: &'static str, payload: Box<dyn std::any::Any + Send>| {
+            failures.record(stage, panic_message(payload));
+            gate.shutdown();
+            sampled.close();
+            prepared.close();
+            ready.close();
+            tasks.close();
+            outputs.close();
+        };
+
         let mut runs: Vec<EpochRun> = Vec::with_capacity(num_epochs);
         let mut startup_seconds = 0.0;
         let session_start = Instant::now();
-        std::thread::scope(|scope| {
-            // If the train stage (this thread) panics, unblock every worker
-            // so `thread::scope` can join them and propagate the panic
-            // instead of deadlocking.
+        let outcome: Result<(), SessionError> = std::thread::scope(|scope| {
+            // If the train stage (this thread) panics or errors, unblock
+            // every worker so `thread::scope` can join them and propagate
+            // the failure instead of deadlocking.
             let _teardown = Defer(|| {
+                stall_release.store(true, Ordering::Release);
                 gate.shutdown();
                 sampled.close();
                 prepared.close();
@@ -654,8 +934,19 @@ impl TrainingEngine {
                 tasks.close();
                 outputs.close();
             });
-            for _ in 0..pcfg.sampler_threads {
-                scope.spawn(|| {
+            // Shadow the shared state as references so the `move` worker
+            // closures (which must own their loop index) capture borrows,
+            // not the values.
+            let (gate, sampled, prepared, ready, pool, tasks, outputs) =
+                (&gate, &sampled, &prepared, &ready, &pool, &tasks, &outputs);
+            let (live_samplers, live_gatherers) = (&live_samplers, &live_gatherers);
+            let (sample_busy, gather_busy, transfer_busy, refresh_busy) =
+                (&sample_busy, &gather_busy, &transfer_busy, &refresh_busy);
+            let (h2d_bytes, dataset, sampler) = (&h2d_bytes, &dataset, &sampler);
+            let (timeline, stall_release) = (&timeline, &stall_release);
+            for w in 0..pcfg.sampler_threads {
+                let poison = &poison;
+                scope.spawn(move || {
                     // When the last sampler exits (shutdown), close the
                     // sampled channel so gather workers drain and exit too.
                     let _liveness = Defer(|| {
@@ -664,116 +955,216 @@ impl TrainingEngine {
                         }
                     });
                     alloc::set_stage(Stage::Sample);
-                    let mut builder = BlockBuilder::new();
-                    let mut seen = 0u64;
-                    while let Some(job) = gate.wait_past(seen) {
-                        seen = job.generation;
-                        let total = job.batches.len();
-                        loop {
-                            let i = job.next.fetch_add(1, Ordering::Relaxed);
-                            if i >= total {
-                                break;
-                            }
-                            let t0 = Instant::now();
-                            // Feed the builder a recycled bundle's block
-                            // capacity (if one is back from the train
-                            // stage), then sample into it. Identical RNG
-                            // stream and results either way.
-                            let mut bufs = pool.try_recv().unwrap_or_default();
-                            bufs.donate_to(&mut builder);
-                            let blocks = sampler.sample_batch_pooled(
-                                &dataset.csr,
-                                job.batches.batch(i),
-                                batch_sample_seed(config_seed, job.epoch, i),
-                                &mut builder,
-                            );
-                            sample_busy.add(t0);
-                            let item = SampledItem {
-                                index: i,
-                                blocks,
-                                cache: Arc::clone(&job.cache),
-                                bufs,
-                            };
-                            if !sampled.send(item) {
-                                return;
+                    let body = AssertUnwindSafe(|| {
+                        let mut builder = BlockBuilder::new();
+                        let mut seen = 0u64;
+                        while let Some(job) = gate.wait_past(seen) {
+                            seen = job.generation;
+                            let total = job.batches.len();
+                            loop {
+                                // Injected crash: a clean exit *before*
+                                // claiming a batch — the shared claim
+                                // counter lets the surviving samplers steal
+                                // every remaining batch, so the session
+                                // completes bit-identically.
+                                if let Some(plan) = fault_plan {
+                                    let reached = job.next.load(Ordering::Relaxed);
+                                    if plan.take_crash(w, job.epoch, reached) {
+                                        timeline.lock().unwrap().push(FailureEvent {
+                                            epoch: job.epoch,
+                                            step: reached,
+                                            replica: w,
+                                            detail: "injected sampler crash (clean exit); peers steal its work".into(),
+                                            action: FailureAction::Observed,
+                                        });
+                                        return;
+                                    }
+                                }
+                                let i = job.next.fetch_add(1, Ordering::Relaxed);
+                                if i >= total {
+                                    break;
+                                }
+                                if let Some(kind) = fault_plan.and_then(|p| p.take(w, job.epoch, i))
+                                {
+                                    match kind {
+                                        FaultKind::Crash => unreachable!("crash is pre-claim"),
+                                        FaultKind::Panic => {
+                                            timeline.lock().unwrap().push(FailureEvent {
+                                                epoch: job.epoch,
+                                                step: i,
+                                                replica: w,
+                                                detail: "injected sampler panic".into(),
+                                                action: FailureAction::Failed,
+                                            });
+                                            panic!(
+                                                "injected fault: sampler {w} panicked at epoch {} step {i}",
+                                                job.epoch
+                                            );
+                                        }
+                                        FaultKind::Stall => {
+                                            // Alive but never producing
+                                            // again: batch `i` is claimed
+                                            // and will never arrive, which
+                                            // is exactly what the stall
+                                            // timeout must detect. Exits
+                                            // only at teardown so the
+                                            // scope can join.
+                                            timeline.lock().unwrap().push(FailureEvent {
+                                                epoch: job.epoch,
+                                                step: i,
+                                                replica: w,
+                                                detail: "injected sampler stall".into(),
+                                                action: FailureAction::Observed,
+                                            });
+                                            while !stall_release.load(Ordering::Acquire) {
+                                                std::thread::sleep(Duration::from_millis(1));
+                                            }
+                                            return;
+                                        }
+                                        FaultKind::Straggler => {
+                                            // Transient slowdown; recovers
+                                            // and processes the batch, so
+                                            // results are bit-identical.
+                                            timeline.lock().unwrap().push(FailureEvent {
+                                                epoch: job.epoch,
+                                                step: i,
+                                                replica: w,
+                                                detail: "injected straggler delay (25ms)".into(),
+                                                action: FailureAction::Observed,
+                                            });
+                                            std::thread::sleep(Duration::from_millis(25));
+                                        }
+                                    }
+                                }
+                                let t0 = Instant::now();
+                                // Feed the builder a recycled bundle's block
+                                // capacity (if one is back from the train
+                                // stage), then sample into it. Identical RNG
+                                // stream and results either way.
+                                let mut bufs = pool.try_recv().unwrap_or_default();
+                                bufs.donate_to(&mut builder);
+                                let blocks = sampler.sample_batch_pooled(
+                                    &dataset.csr,
+                                    job.batches.batch(i),
+                                    batch_sample_seed(config_seed, job.epoch, i),
+                                    &mut builder,
+                                );
+                                sample_busy.add(t0);
+                                let item = SampledItem {
+                                    index: i,
+                                    blocks,
+                                    cache: Arc::clone(&job.cache),
+                                    bufs,
+                                };
+                                if !sampled.send(item) {
+                                    return;
+                                }
                             }
                         }
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        poison("sample", payload);
                     }
                 });
             }
             for _ in 0..pcfg.gather_threads {
-                scope.spawn(|| {
+                let poison = &poison;
+                scope.spawn(move || {
                     let _liveness = Defer(|| {
                         if live_gatherers.fetch_sub(1, Ordering::AcqRel) == 1 {
                             prepared.close();
                         }
                     });
                     alloc::set_stage(Stage::Gather);
-                    while let Some(item) = sampled.recv() {
-                        let SampledItem {
-                            index,
-                            blocks,
-                            cache,
-                            mut bufs,
-                        } = item;
-                        let t0 = Instant::now();
-                        // Cache-keyed gather: probe the epoch's cache
-                        // snapshot and host-gather only the misses, drawing
-                        // position/miss buffers from the recycled bundle.
-                        let features = GatheredFeatures::gather_pooled(
-                            &dataset, &blocks[0], &cache, &mut bufs,
-                        );
-                        gather_busy.add(t0);
-                        if !prepared.send(StagedBatch {
-                            index,
-                            blocks,
-                            features,
-                            bufs,
-                        }) {
-                            break;
+                    let body = AssertUnwindSafe(|| {
+                        while let Some(item) = sampled.recv() {
+                            let SampledItem {
+                                index,
+                                blocks,
+                                cache,
+                                mut bufs,
+                            } = item;
+                            let t0 = Instant::now();
+                            // Cache-keyed gather: probe the epoch's cache
+                            // snapshot and host-gather only the misses,
+                            // drawing position/miss buffers from the
+                            // recycled bundle.
+                            let features = GatheredFeatures::gather_pooled(
+                                dataset, &blocks[0], &cache, &mut bufs,
+                            );
+                            gather_busy.add(t0);
+                            if !prepared.send(StagedBatch {
+                                index,
+                                blocks,
+                                features,
+                                bufs,
+                            }) {
+                                break;
+                            }
                         }
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        poison("gather", payload);
                     }
                 });
             }
-            scope.spawn(|| {
-                let _liveness = Defer(|| ready.close());
-                alloc::set_stage(Stage::Transfer);
-                while let Some(batch) = prepared.recv() {
-                    let t0 = Instant::now();
-                    transfer_stage(pcfg, &batch, &h2d_bytes);
-                    transfer_busy.add(t0);
-                    if !ready.send(batch) {
-                        break;
+            {
+                let poison = &poison;
+                scope.spawn(move || {
+                    let _liveness = Defer(|| ready.close());
+                    alloc::set_stage(Stage::Transfer);
+                    let body = AssertUnwindSafe(|| {
+                        while let Some(batch) = prepared.recv() {
+                            let t0 = Instant::now();
+                            transfer_stage(pcfg, &batch, h2d_bytes);
+                            transfer_busy.add(t0);
+                            if !ready.send(batch) {
+                                break;
+                            }
+                        }
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        poison("transfer", payload);
                     }
-                }
-            });
-            scope.spawn(|| {
-                let _liveness = Defer(|| outputs.close());
-                alloc::set_stage(Stage::Refresh);
-                let shard_workers = self.config.effective_refresh_workers();
-                let mut scratch = SamplerScratch::new();
-                while let Some(task) = tasks.recv() {
-                    let t0 = Instant::now();
-                    // Sharding is placement-only: run_sharded concatenates
-                    // partition-stable shards in order, so the rows are the
-                    // serial rows bit for bit at any worker count.
-                    let out = if shard_workers > 1 {
-                        task.run_sharded(shard_workers)
-                    } else {
-                        task.run_with_scratch(&mut scratch)
-                    };
-                    refresh_busy.add(t0);
-                    if !outputs.send(out) {
-                        break;
+                });
+            }
+            {
+                let poison = &poison;
+                scope.spawn(move || {
+                    let _liveness = Defer(|| outputs.close());
+                    alloc::set_stage(Stage::Refresh);
+                    let body = AssertUnwindSafe(|| {
+                        let shard_workers = self.config.effective_refresh_workers();
+                        let mut scratch = SamplerScratch::new();
+                        while let Some(task) = tasks.recv() {
+                            let t0 = Instant::now();
+                            // Sharding is placement-only: run_sharded
+                            // concatenates partition-stable shards in
+                            // order, so the rows are the serial rows bit
+                            // for bit at any worker count.
+                            let out = if shard_workers > 1 {
+                                task.run_sharded(shard_workers)
+                            } else {
+                                task.run_with_scratch(&mut scratch)
+                            };
+                            refresh_busy.add(t0);
+                            if !outputs.send(out) {
+                                break;
+                            }
+                        }
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        poison("refresh", payload);
                     }
-                }
-            });
+                });
+            }
 
             startup_seconds = session_start.elapsed().as_secs_f64();
             let mut backend = WorkerRefresh {
-                tasks: &tasks,
-                outputs: &outputs,
+                tasks,
+                outputs,
                 wait: Duration::ZERO,
+                failed: false,
             };
             // Adaptive-split v2 controller state: the GPU feature cache in
             // effect (empty until the first plan installs), the EWMA of the
@@ -789,6 +1180,11 @@ impl TrainingEngine {
             // holds the current job (and its Arc) until the next `open`;
             // the epoch-before-last is guaranteed unreferenced by then.
             let caller_stage = alloc::set_stage(Stage::Train);
+            // Restore the caller's alloc stage on every exit path — the
+            // typed-error returns below bail out mid-loop.
+            let _restore_stage = Defer(move || {
+                alloc::set_stage(caller_stage);
+            });
             let mut reorder_window: VecDeque<Option<StagedBatch>> = VecDeque::new();
             let mut spare_batches: Option<Arc<EpochBatches>> = None;
             let mut prev_batches: Option<Arc<EpochBatches>> = None;
@@ -825,7 +1221,8 @@ impl TrainingEngine {
                 // Device-side feature assembly (cache rows + shipped miss
                 // rows) happens here, after the transfer stage — hits never
                 // cross the simulated link.
-                let mut reorder = EpochReorder::new(&ready, total, &mut reorder_window);
+                let mut reorder =
+                    EpochReorder::new(ready, total, &mut reorder_window, self.config.stall_timeout);
                 let mut cache_hits = 0u64;
                 let mut cache_misses = 0u64;
                 let stats = {
@@ -859,6 +1256,45 @@ impl TrainingEngine {
                 // eval is inference, and its allocations are tagged `Other`
                 // so they can never masquerade as hot-path staging churn.
                 let allocs = alloc::snapshot().since(&alloc_before);
+                // Supervision: turn whatever kept the epoch from completing
+                // into a typed error *now*, instead of evaluating (and
+                // reporting) a half-trained epoch. Order matters — a panic
+                // poisons channels and therefore also looks like an early
+                // close, so check the panic record first.
+                if let Some(err) = failures.first() {
+                    return Err(err);
+                }
+                if backend.failed {
+                    return Err(SessionError::WorkerPanicked {
+                        stage: "refresh",
+                        message: "refresh worker died with a collect outstanding".into(),
+                    });
+                }
+                if reorder.stalled {
+                    let step = reorder.next_index;
+                    timeline.lock().unwrap().push(FailureEvent {
+                        epoch,
+                        step,
+                        replica: 0,
+                        detail: format!(
+                            "pipeline stalled: batch {step} never arrived within {:?}",
+                            self.config.stall_timeout
+                        ),
+                        action: FailureAction::Failed,
+                    });
+                    return Err(SessionError::Stalled {
+                        epoch,
+                        step,
+                        timeout: self.config.stall_timeout,
+                    });
+                }
+                if reorder.remaining > 0 {
+                    return Err(SessionError::EpochIncomplete {
+                        epoch,
+                        trained: total - reorder.remaining,
+                        total,
+                    });
+                }
 
                 let t_eval = Instant::now();
                 let pre_eval_stage = alloc::set_stage(Stage::Other);
@@ -882,6 +1318,7 @@ impl TrainingEngine {
                     reorder_peak: reorder.peak,
                     cache_hits,
                     cache_misses,
+                    failures: std::mem::take(&mut *timeline.lock().unwrap()),
                 };
                 // §4.1.3/§4.3 feedback, v2: smooth the measured occupancy
                 // with an EWMA, plan from the smoothed signal, and only
@@ -936,22 +1373,49 @@ impl TrainingEngine {
                     cache_vertices,
                     smoothed_occupancy: smoothed_this,
                     allocs,
+                    checkpoint_bytes: 0,
+                    checkpoint_seconds: 0.0,
                 });
+                // Checkpoint at the epoch boundary, after the epoch's
+                // wall-clock window closed — checkpoint cost is measured
+                // and gated separately, never folded into epoch_seconds.
+                // `capture_state` settles the in-flight refresh first
+                // (numerically identical), so the file is a complete,
+                // self-contained resume point.
+                if checkpoint_on && (epoch + 1).is_multiple_of(self.config.checkpoint_every) {
+                    let t0 = Instant::now();
+                    let state = trainer.capture_state(&mut backend);
+                    let ck = Checkpoint {
+                        next_epoch: epoch as u64 + 1,
+                        replicas: 1,
+                        rng_seeds: vec![config_seed],
+                        state,
+                    };
+                    let path = self.config.checkpoint_path.as_ref().unwrap();
+                    let bytes = checkpoint::save(path, digest, &ck)?;
+                    let run = runs.last_mut().unwrap();
+                    run.checkpoint_bytes = bytes;
+                    run.checkpoint_seconds = t0.elapsed().as_secs_f64();
+                }
                 spare_batches = prev_batches.take();
                 prev_batches = Some(batches);
             }
             // Resolve any refresh still on the worker so the trainer can
             // outlive this session (the rows publish at a later boundary).
             trainer.settle_refresh(&mut backend);
-            alloc::set_stage(caller_stage);
+            if let Some(err) = failures.first() {
+                return Err(err);
+            }
+            Ok(())
         });
+        outcome?;
 
-        SessionReport {
+        Ok(SessionReport {
             epochs: runs,
             workers_spawned,
             generations: num_epochs as u64,
             startup_seconds,
-        }
+        })
     }
 }
 
@@ -1025,7 +1489,7 @@ mod tests {
         }
         // Note: not closed — the channel outlives epochs in a session.
         let mut window = VecDeque::new();
-        let mut reorder = EpochReorder::new(&ch, 4, &mut window);
+        let mut reorder = EpochReorder::new(&ch, 4, &mut window, Duration::from_secs(5));
         let order: Vec<usize> = (&mut reorder).map(|b| b.index).collect();
         let peak = reorder.peak;
         assert_eq!(order, vec![0, 1, 2, 3]);

@@ -1,0 +1,323 @@
+//! Deterministic fault injection for session robustness tests.
+//!
+//! A [`FaultPlan`] is a fixed list of faults, each pinned to an exact
+//! `(replica, epoch, step)` coordinate in the session's deterministic
+//! schedule — nothing here depends on wall-clock time, so a plan fires the
+//! same way on every run at every thread count. Workers consult the plan
+//! at the moment they claim a unit of work; each fault fires **once**
+//! (atomic one-shot arming) so a session that restores from a checkpoint
+//! and replays an epoch does not re-crash on the replayed step.
+//!
+//! The four fault classes and what they model:
+//!
+//! * [`FaultKind::Crash`] — a clean worker death *before* claiming work
+//!   (process OOM-killed between batches). The worker exits its loop;
+//!   channel liveness teardown runs normally.
+//! * [`FaultKind::Panic`] — a worker panicking *mid-batch* (assertion
+//!   failure, poisoned arithmetic). The batch is lost; the session must
+//!   surface the payload, not hang.
+//! * [`FaultKind::Stall`] — a worker that stops making progress but never
+//!   exits (deadlocked peer, stuck I/O). Only detectable by timeout.
+//! * [`FaultKind::Straggler`] — a transient slowdown (thermal throttle,
+//!   noisy neighbor). The worker recovers; the session must complete with
+//!   bit-identical results and record the event, not kill the replica.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What the injected fault does to the afflicted worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Clean worker exit before claiming the step's work.
+    Crash,
+    /// Panic after claiming the step's work.
+    Panic,
+    /// Stop forever without exiting (detected by stall timeout).
+    Stall,
+    /// Delay briefly, then continue normally.
+    Straggler,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::Straggler => "straggler",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled fault: `kind` fires when `replica` reaches `step` of
+/// `epoch`. For the single-engine pipeline, `replica` selects the worker
+/// index within the faulted stage and `step` is the claimed batch index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Replica (or worker) index the fault targets.
+    pub replica: usize,
+    /// Epoch at which the fault fires.
+    pub epoch: usize,
+    /// Step (batch index within the epoch) at which the fault fires.
+    pub step: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@r{}e{}s{}",
+            self.kind, self.replica, self.epoch, self.step
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    spec: FaultSpec,
+    armed: AtomicBool,
+}
+
+/// A deterministic, seedless fault schedule shared by every worker in a
+/// session. Cheap to consult on the hot path: a short linear scan over
+/// immutable specs with one relaxed atomic swap on the (rare) hit.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Armed>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit specs.
+    pub fn new(specs: impl IntoIterator<Item = FaultSpec>) -> Self {
+        Self {
+            faults: specs
+                .into_iter()
+                .map(|spec| Armed {
+                    spec,
+                    armed: AtomicBool::new(true),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses a comma-separated spec list, e.g.
+    /// `"crash@r1e2s3,stall@r0e1s0"`. Grammar per item:
+    /// `<crash|panic|stall|straggler>@r<replica>e<epoch>s<step>`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut specs = Vec::new();
+        for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (kind, coord) = item
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{item}`: expected `<kind>@r<R>e<E>s<S>`"))?;
+            let kind = match kind {
+                "crash" => FaultKind::Crash,
+                "panic" => FaultKind::Panic,
+                "stall" => FaultKind::Stall,
+                "straggler" => FaultKind::Straggler,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            let rest = coord
+                .strip_prefix('r')
+                .ok_or_else(|| format!("fault `{item}`: coordinate must start with `r`"))?;
+            let (replica, rest) = rest
+                .split_once('e')
+                .ok_or_else(|| format!("fault `{item}`: missing `e<epoch>`"))?;
+            let (epoch, step) = rest
+                .split_once('s')
+                .ok_or_else(|| format!("fault `{item}`: missing `s<step>`"))?;
+            let parse = |label: &str, s: &str| -> Result<usize, String> {
+                s.parse()
+                    .map_err(|_| format!("fault `{item}`: bad {label} `{s}`"))
+            };
+            specs.push(FaultSpec {
+                replica: parse("replica", replica)?,
+                epoch: parse("epoch", epoch)?,
+                step: parse("step", step)?,
+                kind,
+            });
+        }
+        Ok(Self::new(specs))
+    }
+
+    /// True when the plan holds no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled specs (armed or already fired), for reporting.
+    pub fn specs(&self) -> impl Iterator<Item = FaultSpec> + '_ {
+        self.faults.iter().map(|a| a.spec)
+    }
+
+    /// Consumes a [`FaultKind::Crash`] scheduled for `replica` in `epoch`
+    /// once the worker *observes* the claim counter at or past the
+    /// scheduled step. Crashes are checked before claiming work (a clean
+    /// death loses no batch, peers steal the rest), and the observed
+    /// counter may skip past the exact scheduled value under contention —
+    /// hence reached-or-passed instead of the exact match [`Self::take`]
+    /// uses.
+    pub fn take_crash(&self, replica: usize, epoch: usize, reached_step: usize) -> bool {
+        for armed in &self.faults {
+            let s = &armed.spec;
+            if s.kind == FaultKind::Crash
+                && s.replica == replica
+                && s.epoch == epoch
+                && reached_step >= s.step
+                && armed.armed.swap(false, Ordering::Relaxed)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes and returns the fault scheduled at exactly
+    /// `(replica, epoch, step)` if one is still armed. One-shot: a second
+    /// call for the same coordinate returns `None`, so checkpoint-restored
+    /// epochs do not re-fire already-delivered faults. Crash faults are
+    /// excluded — they are delivered pre-claim through [`Self::take_crash`]
+    /// only (the two lookups race against a shared claim counter; letting
+    /// both see a crash could deliver it post-claim and silently lose the
+    /// claimed batch).
+    pub fn take(&self, replica: usize, epoch: usize, step: usize) -> Option<FaultKind> {
+        for armed in &self.faults {
+            let s = &armed.spec;
+            if s.kind != FaultKind::Crash
+                && s.replica == replica
+                && s.epoch == epoch
+                && s.step == step
+                && armed.armed.swap(false, Ordering::Relaxed)
+            {
+                return Some(s.kind);
+            }
+        }
+        None
+    }
+}
+
+/// What the supervisor did about a detected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureAction {
+    /// The session was failed with a typed error.
+    Failed,
+    /// The replica was dropped; the session continued with the survivors.
+    DroppedReplica,
+    /// The session rolled back to the last checkpoint.
+    RestoredCheckpoint,
+    /// Transient event (straggler) — recorded, no intervention needed.
+    Observed,
+}
+
+impl fmt::Display for FailureAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureAction::Failed => "failed",
+            FailureAction::DroppedReplica => "dropped-replica",
+            FailureAction::RestoredCheckpoint => "restored-checkpoint",
+            FailureAction::Observed => "observed",
+        })
+    }
+}
+
+/// One entry in a session's failure/recovery timeline, surfaced through
+/// [`crate::pipeline::PipelineReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Epoch in which the failure was detected.
+    pub epoch: usize,
+    /// Step (batch index) at which detection happened.
+    pub step: usize,
+    /// The replica (or worker index) that failed.
+    pub replica: usize,
+    /// Human-readable description of what was detected.
+    pub detail: String,
+    /// The supervisor's response.
+    pub action: FailureAction,
+}
+
+impl fmt::Display for FailureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} step {} replica {}: {} -> {}",
+            self.epoch, self.step, self.replica, self.detail, self.action
+        )
+    }
+}
+
+/// Replica-failure policy for multi-replica sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Fail the session with a typed error (default — surprises surface).
+    #[default]
+    Fail,
+    /// Continue with the surviving replicas; the dead replica's partition
+    /// is redistributed at the next epoch boundary.
+    DropReplica,
+    /// Roll back to the most recent checkpoint and resume with a
+    /// replacement worker.
+    Restore,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_the_display_form() {
+        let plan = FaultPlan::parse("crash@r1e2s3, stall@r0e1s0,straggler@r2e0s5").unwrap();
+        let specs: Vec<_> = plan.specs().collect();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].to_string(), "crash@r1e2s3");
+        assert_eq!(specs[1].kind, FaultKind::Stall);
+        assert_eq!(
+            specs[2],
+            FaultSpec {
+                replica: 2,
+                epoch: 0,
+                step: 5,
+                kind: FaultKind::Straggler
+            }
+        );
+        let reparsed = FaultPlan::parse(
+            &specs
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .unwrap();
+        assert_eq!(reparsed.specs().collect::<Vec<_>>(), specs);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "boom@r0e0s0",
+            "crash@e0s0",
+            "crash@r0e0",
+            "crash-r0e0s0",
+            "crash@rXe0s0",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn take_is_one_shot_and_coordinate_exact() {
+        let plan = FaultPlan::parse("panic@r1e2s3").unwrap();
+        assert_eq!(plan.take(1, 2, 2), None);
+        assert_eq!(plan.take(0, 2, 3), None);
+        assert_eq!(plan.take(1, 2, 3), Some(FaultKind::Panic));
+        assert_eq!(plan.take(1, 2, 3), None, "a fault fires exactly once");
+    }
+}

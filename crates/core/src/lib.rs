@@ -24,7 +24,9 @@
 //!   the accuracy results of Fig 16 come from here.
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod engine;
+pub mod fault;
 pub mod gather;
 pub mod neutronorch;
 pub mod orchestrator;
@@ -38,7 +40,9 @@ pub mod runner;
 pub mod sim;
 pub mod trainer;
 
-pub use engine::{EngineConfig, EpochRun, SessionReport, TrainingEngine};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use engine::{EngineConfig, EpochRun, SessionError, SessionReport, TrainingEngine};
+pub use fault::{FailureAction, FailureEvent, FailurePolicy, FaultKind, FaultPlan, FaultSpec};
 pub use gather::{GatheredFeatures, StagedBatch};
 pub use neutronorch::{NeutronOrch, NeutronOrchConfig};
 pub use orchestrator::Orchestrator;
@@ -51,3 +55,4 @@ pub use replica::{
     ReplicatedSessionReport,
 };
 pub use report::EpochReport;
+pub use trainer::TrainerState;

@@ -94,6 +94,10 @@ pub struct PipelineReport {
     /// `cache_hits + cache_misses` is the epoch's total gathered vertex
     /// count, invariant across cache budgets.
     pub cache_misses: u64,
+    /// Failure/recovery timeline recorded during the epoch: injected
+    /// faults, detections and the supervisor's responses, in detection
+    /// order. Empty in healthy epochs.
+    pub failures: Vec<crate::fault::FailureEvent>,
 }
 
 impl PipelineReport {
@@ -240,6 +244,7 @@ impl PipelineExecutor {
             reorder_peak: 0,
             cache_hits: 0,
             cache_misses: gathered_vertices,
+            failures: Vec::new(),
         };
         (observation, report)
     }

@@ -33,8 +33,11 @@
 //! pulled per batch and ring all-reduce gradient bytes per step become
 //! first-class per-epoch series in the session report.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use neutron_cache::FeatureCache;
@@ -44,7 +47,11 @@ use neutron_hetero::InterconnectSpec;
 use neutron_sample::{BatchIterator, BlockBuilder, EpochBatches, LocalityCounts};
 use neutron_tensor::alloc::{self, AllocSnapshot, Stage};
 
-use crate::engine::{transfer_stage, Bounded, BusyNs, Defer};
+use crate::checkpoint::{self, Checkpoint, CheckpointError};
+use crate::engine::{
+    panic_message, transfer_stage, Bounded, BusyNs, Defer, FailureCell, RecvTimeout, SessionError,
+};
+use crate::fault::{FailureAction, FailureEvent, FailurePolicy, FaultKind, FaultPlan};
 use crate::gather::{GatheredFeatures, StagedBatch};
 use crate::pipeline::{PipelineConfig, PipelineReport};
 use crate::pool::BatchBuffers;
@@ -77,6 +84,21 @@ pub struct ReplicatedConfig {
     /// Per-replica recycled staging-buffer pool size; 0 = auto
     /// (`2 × channel_depth + 4`).
     pub pool_batches: usize,
+    /// Write a checkpoint after every epoch whose number + 1 is a multiple
+    /// of this (0 disables). Same absolute-epoch cadence as the
+    /// single-replica engine, so restored sessions keep the schedule.
+    pub checkpoint_every: usize,
+    /// Checkpoint file location; required (together with a nonzero
+    /// [`Self::checkpoint_every`]) for checkpoints to be written and for
+    /// the [`FailurePolicy::Restore`] policy to have something to load.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Deterministic fault schedule consulted by the replica workers.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// How long the supervisor waits on a replica's staging channel before
+    /// declaring the replica stalled.
+    pub stall_timeout: Duration,
+    /// What the supervisor does when a replica dies or stalls mid-epoch.
+    pub on_replica_failure: FailurePolicy,
 }
 
 impl Default for ReplicatedConfig {
@@ -88,6 +110,11 @@ impl Default for ReplicatedConfig {
             gpu_free_bytes: 64 << 20,
             interconnect: InterconnectSpec::nvlink_like(),
             pool_batches: 0,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            fault_plan: None,
+            stall_timeout: Duration::from_secs(5),
+            on_replica_failure: FailurePolicy::Fail,
         }
     }
 }
@@ -156,6 +183,12 @@ pub struct ReplicatedEpochRun {
     pub allocs: AllocSnapshot,
     /// Seconds spent in test-set evaluation (outside `report` timings).
     pub eval_seconds: f64,
+    /// Bytes of the checkpoint written at this epoch's boundary (0 when
+    /// none was due).
+    pub checkpoint_bytes: u64,
+    /// Wall-clock spent writing that checkpoint, outside the epoch's timed
+    /// window.
+    pub checkpoint_seconds: f64,
 }
 
 /// A replicated session: per-epoch runs plus session-constant facts.
@@ -267,13 +300,40 @@ impl ReplicatedEngine {
     }
 
     /// Runs `num_epochs` epochs starting at `first_epoch`, mutating
-    /// `trainer` exactly as `train_steps_replicated` dictates.
+    /// `trainer` exactly as `train_steps_replicated` dictates. Panics on a
+    /// session failure; see [`Self::run_session_checked`] for the typed
+    /// error surface.
     pub fn run_session(
         &self,
         trainer: &mut ConvergenceTrainer,
         first_epoch: usize,
         num_epochs: usize,
     ) -> ReplicatedSessionReport {
+        self.run_session_checked(trainer, first_epoch, num_epochs)
+            .unwrap_or_else(|e| panic!("replicated session failed: {e}"))
+    }
+
+    /// [`Self::run_session`] with the failure surface exposed: replica
+    /// deaths, stalls, and checkpoint problems come back as
+    /// [`SessionError`] instead of panics. The supervisor (this thread)
+    /// detects a dead replica by its poisoned staging channel and a
+    /// stalled one by [`ReplicatedConfig::stall_timeout`], then applies
+    /// [`ReplicatedConfig::on_replica_failure`]:
+    ///
+    /// * `Fail` — tear down and return [`SessionError::ReplicaDied`].
+    /// * `DropReplica` — finish the epoch with the survivors (the tree
+    ///   average already rescales by group size) and redistribute the dead
+    ///   replica's train vertices round-robin over the survivors at the
+    ///   next epoch boundary.
+    /// * `Restore` — drain the survivors, roll the trainer back to the
+    ///   last checkpoint, respawn a replacement worker on fresh channels,
+    ///   and resume from the checkpointed epoch.
+    pub fn run_session_checked(
+        &self,
+        trainer: &mut ConvergenceTrainer,
+        first_epoch: usize,
+        num_epochs: usize,
+    ) -> Result<ReplicatedSessionReport, SessionError> {
         let replicas = self.config.replicas;
         let dataset = trainer.dataset_handle();
         let partition = Arc::new(hash_partition(dataset.csr.num_vertices(), replicas));
@@ -285,17 +345,30 @@ impl ReplicatedEngine {
         // exactly.
         let config_seed = trainer.config().seed;
         let batch_size = trainer.config().batch_size;
-        let iterators: Vec<BatchIterator> = (0..replicas)
-            .map(|r| {
-                let owned: Vec<VertexId> = dataset
-                    .train
-                    .iter()
-                    .copied()
-                    .filter(|&v| partition.owner(v) == r)
-                    .collect();
-                BatchIterator::new(owned, batch_size, config_seed)
-            })
+        let replica_seeds: Vec<u64> = (0..replicas)
+            .map(|r| config_seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
             .collect();
+
+        // Mutable ownership map over `dataset.train` positions: starts as
+        // the hash partition, and DropReplica reassigns a dead replica's
+        // slots to the survivors at an epoch boundary.
+        let mut owner_of: Vec<usize> = dataset.train.iter().map(|&v| partition.owner(v)).collect();
+        let build_iterators = |owner_of: &[usize]| -> Vec<BatchIterator> {
+            (0..replicas)
+                .map(|r| {
+                    let owned: Vec<VertexId> = dataset
+                        .train
+                        .iter()
+                        .copied()
+                        .zip(owner_of.iter())
+                        .filter(|&(_, &o)| o == r)
+                        .map(|(v, _)| v)
+                        .collect();
+                    BatchIterator::new(owned, batch_size, config_seed)
+                })
+                .collect()
+        };
+        let mut iterators = build_iterators(&owner_of);
 
         let caches: Vec<Arc<FeatureCache>> = (0..replicas)
             .map(|r| Arc::new(self.replica_cache(trainer, &dataset, &partition, r)))
@@ -304,27 +377,43 @@ impl ReplicatedEngine {
         let counters: Vec<Arc<ReplicaCounters>> = (0..replicas)
             .map(|_| Arc::new(ReplicaCounters::default()))
             .collect();
-        let job_channels: Vec<Arc<Bounded<ReplicaJob>>> =
-            (0..replicas).map(|_| Arc::new(Bounded::new(1))).collect();
-        let staged_channels: Vec<Arc<Bounded<StagedBatch>>> = (0..replicas)
-            .map(|_| Arc::new(Bounded::new(self.config.pipeline.channel_depth)))
-            .collect();
+        let job_channels: RefCell<Vec<Arc<Bounded<ReplicaJob>>>> =
+            RefCell::new((0..replicas).map(|_| Arc::new(Bounded::new(1))).collect());
+        let staged_channels: RefCell<Vec<Arc<Bounded<StagedBatch>>>> = RefCell::new(
+            (0..replicas)
+                .map(|_| Arc::new(Bounded::new(self.config.pipeline.channel_depth)))
+                .collect(),
+        );
         let pools: Vec<Arc<Bounded<BatchBuffers>>> = (0..replicas)
             .map(|_| Arc::new(Bounded::new(self.config.effective_pool_batches())))
             .collect();
 
+        let failures = FailureCell::default();
+        let timeline: Mutex<Vec<FailureEvent>> = Mutex::new(Vec::new());
+        let stall_release = AtomicBool::new(false);
+        let fault_plan = self.config.fault_plan.clone();
+        let sampler0 = trainer.sampler().clone();
+        let policy = self.config.on_replica_failure;
+        let stall_timeout = self.config.stall_timeout;
+        let digest = checkpoint::config_digest(trainer.config(), replicas);
+        let checkpoint_on =
+            self.config.checkpoint_every > 0 && self.config.checkpoint_path.is_some();
+
         let mut epochs = Vec::with_capacity(num_epochs);
+        let mut workers_spawned = 0usize;
         let caller_stage = alloc::set_stage(Stage::Train);
 
-        std::thread::scope(|scope| {
+        let outcome: Result<(), SessionError> = std::thread::scope(|scope| {
             // Unblock every worker on unwind or normal exit: waking the
             // job channels ends their loops, waking the staging channels
-            // unblocks any worker parked on a full channel.
+            // unblocks any worker parked on a full channel, and the stall
+            // release flag frees workers parked in an injected stall.
             let _teardown = Defer(|| {
-                for ch in &job_channels {
+                stall_release.store(true, Ordering::Release);
+                for ch in job_channels.borrow().iter() {
                     ch.close();
                 }
-                for ch in &staged_channels {
+                for ch in staged_channels.borrow().iter() {
                     ch.close();
                 }
                 for pool in &pools {
@@ -332,87 +421,167 @@ impl ReplicatedEngine {
                 }
             });
 
-            for r in 0..replicas {
-                let jobs = Arc::clone(&job_channels[r]);
-                let staged_tx = Arc::clone(&staged_channels[r]);
-                let pool = Arc::clone(&pools[r]);
-                let counters = Arc::clone(&counters[r]);
-                let partition = Arc::clone(&partition);
-                let dataset = Arc::clone(&dataset);
-                let sampler = trainer.sampler().clone();
-                let pipeline_cfg = self.config.pipeline.clone();
-                let locality_aware = self.config.locality_aware;
-                let replica_seed = config_seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                let feature_row_bytes = dataset.spec.feature_row_bytes();
-                scope.spawn(move || {
-                    let mut builder = BlockBuilder::default();
-                    while let Some(job) = jobs.recv() {
-                        for i in 0..job.limit {
-                            let t_sample = Instant::now();
-                            let stage_before = alloc::set_stage(Stage::Sample);
-                            let mut bufs = pool.try_recv().unwrap_or_default();
-                            bufs.donate_to(&mut builder);
-                            let seed = batch_sample_seed(replica_seed, job.epoch, i);
-                            let mut picks = LocalityCounts::default();
-                            let blocks = if locality_aware {
-                                sampler.sample_batch_pooled_biased(
-                                    &dataset.csr,
-                                    job.batches.batch(i),
-                                    seed,
-                                    &mut builder,
-                                    &partition.assignment,
-                                    r as u32,
-                                    &mut picks,
-                                )
-                            } else {
-                                sampler.sample_batch_pooled(
-                                    &dataset.csr,
-                                    job.batches.batch(i),
-                                    seed,
-                                    &mut builder,
-                                )
-                            };
-                            let remote_rows = blocks[0]
-                                .src()
-                                .iter()
-                                .filter(|&&v| partition.assignment[v as usize] != r as u32)
-                                .count() as u64;
-                            counters
-                                .remote_feature_bytes
-                                .fetch_add(remote_rows * feature_row_bytes, Ordering::Relaxed);
-                            counters
-                                .local_picks
-                                .fetch_add(picks.local_picks, Ordering::Relaxed);
-                            counters
-                                .remote_picks
-                                .fetch_add(picks.remote_picks, Ordering::Relaxed);
-                            counters.sample_busy.add(t_sample);
+            let spawn_worker =
+                |r: usize, jobs: Arc<Bounded<ReplicaJob>>, staged_tx: Arc<Bounded<StagedBatch>>| {
+                    let pool = Arc::clone(&pools[r]);
+                    let counters = Arc::clone(&counters[r]);
+                    let partition = Arc::clone(&partition);
+                    let dataset = Arc::clone(&dataset);
+                    let sampler = sampler0.clone();
+                    let pipeline_cfg = self.config.pipeline.clone();
+                    let locality_aware = self.config.locality_aware;
+                    let replica_seed = replica_seeds[r];
+                    let feature_row_bytes = dataset.spec.feature_row_bytes();
+                    let fault_plan = fault_plan.clone();
+                    let failures = &failures;
+                    let timeline = &timeline;
+                    let stall_release = &stall_release;
+                    scope.spawn(move || {
+                        // Poison both endpoints on every exit path so the
+                        // supervisor sees a closed channel instead of
+                        // blocking forever on a dead replica.
+                        let _poison = Defer(|| {
+                            staged_tx.close();
+                            jobs.close();
+                        });
+                        let body = AssertUnwindSafe(|| {
+                            let mut builder = BlockBuilder::default();
+                            while let Some(job) = jobs.recv() {
+                                for i in 0..job.limit {
+                                    if let Some(plan) = fault_plan.as_deref() {
+                                        if plan.take_crash(r, job.epoch, i) {
+                                            timeline.lock().unwrap().push(FailureEvent {
+                                                epoch: job.epoch,
+                                                step: i,
+                                                replica: r,
+                                                detail: "injected crash: worker exiting cleanly"
+                                                    .into(),
+                                                action: FailureAction::Observed,
+                                            });
+                                            return;
+                                        }
+                                        match plan.take(r, job.epoch, i) {
+                                            None => {}
+                                            Some(FaultKind::Crash) => unreachable!(),
+                                            Some(FaultKind::Panic) => {
+                                                timeline.lock().unwrap().push(FailureEvent {
+                                                    epoch: job.epoch,
+                                                    step: i,
+                                                    replica: r,
+                                                    detail: "injected panic".into(),
+                                                    action: FailureAction::Observed,
+                                                });
+                                                panic!(
+                                                    "injected fault: replica {r} panicked at \
+                                                     epoch {} step {i}",
+                                                    job.epoch
+                                                );
+                                            }
+                                            Some(FaultKind::Stall) => {
+                                                timeline.lock().unwrap().push(FailureEvent {
+                                                    epoch: job.epoch,
+                                                    step: i,
+                                                    replica: r,
+                                                    detail: "injected stall".into(),
+                                                    action: FailureAction::Observed,
+                                                });
+                                                while !stall_release.load(Ordering::Acquire) {
+                                                    std::thread::sleep(Duration::from_millis(1));
+                                                }
+                                                return;
+                                            }
+                                            Some(FaultKind::Straggler) => {
+                                                timeline.lock().unwrap().push(FailureEvent {
+                                                    epoch: job.epoch,
+                                                    step: i,
+                                                    replica: r,
+                                                    detail: "injected straggler delay".into(),
+                                                    action: FailureAction::Observed,
+                                                });
+                                                std::thread::sleep(Duration::from_millis(25));
+                                            }
+                                        }
+                                    }
+                                    let t_sample = Instant::now();
+                                    let stage_before = alloc::set_stage(Stage::Sample);
+                                    let mut bufs = pool.try_recv().unwrap_or_default();
+                                    bufs.donate_to(&mut builder);
+                                    let seed = batch_sample_seed(replica_seed, job.epoch, i);
+                                    let mut picks = LocalityCounts::default();
+                                    let blocks = if locality_aware {
+                                        sampler.sample_batch_pooled_biased(
+                                            &dataset.csr,
+                                            job.batches.batch(i),
+                                            seed,
+                                            &mut builder,
+                                            &partition.assignment,
+                                            r as u32,
+                                            &mut picks,
+                                        )
+                                    } else {
+                                        sampler.sample_batch_pooled(
+                                            &dataset.csr,
+                                            job.batches.batch(i),
+                                            seed,
+                                            &mut builder,
+                                        )
+                                    };
+                                    let remote_rows = blocks[0]
+                                        .src()
+                                        .iter()
+                                        .filter(|&&v| partition.assignment[v as usize] != r as u32)
+                                        .count()
+                                        as u64;
+                                    counters.remote_feature_bytes.fetch_add(
+                                        remote_rows * feature_row_bytes,
+                                        Ordering::Relaxed,
+                                    );
+                                    counters
+                                        .local_picks
+                                        .fetch_add(picks.local_picks, Ordering::Relaxed);
+                                    counters
+                                        .remote_picks
+                                        .fetch_add(picks.remote_picks, Ordering::Relaxed);
+                                    counters.sample_busy.add(t_sample);
 
-                            let t_gather = Instant::now();
-                            alloc::set_stage(Stage::Gather);
-                            let features = GatheredFeatures::gather_pooled(
-                                &dataset, &blocks[0], &job.cache, &mut bufs,
-                            );
-                            counters.gather_busy.add(t_gather);
+                                    let t_gather = Instant::now();
+                                    alloc::set_stage(Stage::Gather);
+                                    let features = GatheredFeatures::gather_pooled(
+                                        &dataset, &blocks[0], &job.cache, &mut bufs,
+                                    );
+                                    counters.gather_busy.add(t_gather);
 
-                            let t_transfer = Instant::now();
-                            alloc::set_stage(Stage::Transfer);
-                            let staged = StagedBatch {
-                                index: i,
-                                blocks,
-                                features,
-                                bufs,
-                            };
-                            transfer_stage(&pipeline_cfg, &staged, &counters.h2d_bytes);
-                            counters.transfer_busy.add(t_transfer);
-                            alloc::set_stage(stage_before);
-                            if !staged_tx.send(staged) {
-                                return; // session tearing down
+                                    let t_transfer = Instant::now();
+                                    alloc::set_stage(Stage::Transfer);
+                                    let staged = StagedBatch {
+                                        index: i,
+                                        blocks,
+                                        features,
+                                        bufs,
+                                    };
+                                    transfer_stage(&pipeline_cfg, &staged, &counters.h2d_bytes);
+                                    counters.transfer_busy.add(t_transfer);
+                                    alloc::set_stage(stage_before);
+                                    if !staged_tx.send(staged) {
+                                        return; // session tearing down
+                                    }
+                                }
                             }
+                        });
+                        if let Err(payload) = catch_unwind(body) {
+                            failures.record("replica", panic_message(payload));
                         }
-                    }
-                });
+                    });
+                };
+
+            {
+                let jobs = job_channels.borrow();
+                let staged = staged_channels.borrow();
+                for r in 0..replicas {
+                    spawn_worker(r, Arc::clone(&jobs[r]), Arc::clone(&staged[r]));
+                }
             }
+            workers_spawned = replicas;
 
             // EpochBatches recycling with a two-epoch lag: by the time
             // epoch e+2 starts, the worker has received job e+1, which it
@@ -420,56 +589,155 @@ impl ReplicatedEngine {
             let mut spare: Vec<Option<Arc<EpochBatches>>> = vec![None; replicas];
             let mut prev: Vec<Option<Arc<EpochBatches>>> = vec![None; replicas];
 
-            for epoch in first_epoch..first_epoch + num_epochs {
+            let alive = RefCell::new(vec![true; replicas]);
+            let mut pending_redistribute = false;
+            // Backstop against a restore loop on a persistently failing
+            // setup; injected faults are one-shot, so this only trips on a
+            // genuinely unrecoverable session.
+            let mut restores_left = 4usize;
+
+            let end_epoch = first_epoch + num_epochs;
+            let mut epoch = first_epoch;
+            while epoch < end_epoch {
+                let alive_at_start = alive.borrow().clone();
+                if pending_redistribute {
+                    let survivors: Vec<usize> =
+                        (0..replicas).filter(|&r| alive_at_start[r]).collect();
+                    if survivors.is_empty() {
+                        return Err(SessionError::NoSurvivors { epoch });
+                    }
+                    let mut rr = 0usize;
+                    for slot in owner_of.iter_mut() {
+                        if !alive_at_start[*slot] {
+                            *slot = survivors[rr % survivors.len()];
+                            rr += 1;
+                        }
+                    }
+                    iterators = build_iterators(&owner_of);
+                    pending_redistribute = false;
+                }
+
                 let epoch_wall = Instant::now();
                 let alloc_before = alloc::snapshot();
                 let baselines: Vec<CounterBaseline> =
                     counters.iter().map(|c| c.baseline()).collect();
 
-                let mut lens = Vec::with_capacity(replicas);
-                let mut filled = Vec::with_capacity(replicas);
+                let mut lens = vec![0usize; replicas];
+                let mut filled: Vec<Option<Arc<EpochBatches>>> = vec![None; replicas];
                 for r in 0..replicas {
+                    if !alive_at_start[r] {
+                        spare[r] = None;
+                        prev[r] = None;
+                        continue;
+                    }
                     let mut eb = spare[r]
                         .take()
                         .and_then(|a| Arc::try_unwrap(a).ok())
                         .unwrap_or_default();
                     iterators[r].fill_epoch_batches(epoch, &mut eb);
-                    lens.push(eb.len());
-                    filled.push(Arc::new(eb));
+                    lens[r] = eb.len();
+                    filled[r] = Some(Arc::new(eb));
                 }
-                let steps = lens.iter().copied().min().unwrap_or(0);
+                let steps = (0..replicas)
+                    .filter(|&r| alive_at_start[r])
+                    .map(|r| lens[r])
+                    .min()
+                    .unwrap_or(0);
                 for r in 0..replicas {
-                    let sent = job_channels[r].send(ReplicaJob {
+                    let Some(batches) = filled[r].as_ref() else {
+                        continue;
+                    };
+                    // A worker that died after its last drain shows up as a
+                    // closed channel here; the feed below detects it.
+                    let _ = job_channels.borrow()[r].send(ReplicaJob {
                         epoch,
                         limit: steps,
-                        batches: Arc::clone(&filled[r]),
+                        batches: Arc::clone(batches),
                         cache: Arc::clone(&caches[r]),
                     });
-                    assert!(sent, "job channel closed mid-session");
                     spare[r] = prev[r].take();
-                    prev[r] = Some(Arc::clone(&filled[r]));
+                    prev[r] = Some(Arc::clone(batches));
                 }
                 drop(filled);
 
                 let mut wait = Duration::ZERO;
                 let mut cache_hits = 0u64;
                 let mut cache_misses = 0u64;
+                let epoch_error: RefCell<Option<SessionError>> = RefCell::new(None);
+                let want_restore = Cell::new(false);
+                let consumed: RefCell<Vec<usize>> = RefCell::new(vec![0usize; replicas]);
                 let train_wall = Instant::now();
                 let stats = {
-                    let feed = (0..steps).map(|si| {
+                    let feed = (0..steps).map_while(|si| {
                         let mut step = Vec::with_capacity(replicas);
-                        for r in 0..replicas {
+                        for (r, cache) in caches.iter().enumerate() {
+                            if !alive.borrow()[r] {
+                                continue;
+                            }
+                            let ch = Arc::clone(&staged_channels.borrow()[r]);
                             let blocked = Instant::now();
-                            let staged = staged_channels[r]
-                                .recv()
-                                .expect("replica workers outlive the session");
+                            let got = ch.recv_timeout(stall_timeout);
                             wait += blocked.elapsed();
-                            debug_assert_eq!(staged.index, si);
-                            cache_hits += staged.features.num_hits() as u64;
-                            cache_misses += staged.features.num_misses() as u64;
-                            step.push(staged.into_prepared(&caches[r]));
+                            match got {
+                                RecvTimeout::Item(staged) => {
+                                    consumed.borrow_mut()[r] += 1;
+                                    debug_assert_eq!(staged.index, si);
+                                    cache_hits += staged.features.num_hits() as u64;
+                                    cache_misses += staged.features.num_misses() as u64;
+                                    step.push(staged.into_prepared(cache));
+                                }
+                                RecvTimeout::Closed | RecvTimeout::TimedOut => {
+                                    alive.borrow_mut()[r] = false;
+                                    let detail = if matches!(got, RecvTimeout::TimedOut) {
+                                        format!(
+                                            "replica {r} stalled: no staged batch within \
+                                             {stall_timeout:?}"
+                                        )
+                                    } else if let Some(SessionError::WorkerPanicked {
+                                        message,
+                                        ..
+                                    }) = failures.first()
+                                    {
+                                        format!("replica {r} worker panicked: {message}")
+                                    } else {
+                                        format!("replica {r} worker exited early")
+                                    };
+                                    let action = match policy {
+                                        FailurePolicy::Fail => FailureAction::Failed,
+                                        FailurePolicy::DropReplica => FailureAction::DroppedReplica,
+                                        FailurePolicy::Restore => FailureAction::RestoredCheckpoint,
+                                    };
+                                    timeline.lock().unwrap().push(FailureEvent {
+                                        epoch,
+                                        step: si,
+                                        replica: r,
+                                        detail: detail.clone(),
+                                        action,
+                                    });
+                                    match policy {
+                                        FailurePolicy::Fail => {
+                                            *epoch_error.borrow_mut() =
+                                                Some(SessionError::ReplicaDied {
+                                                    replica: r,
+                                                    epoch,
+                                                    step: si,
+                                                    detail,
+                                                });
+                                        }
+                                        FailurePolicy::DropReplica => {}
+                                        FailurePolicy::Restore => want_restore.set(true),
+                                    }
+                                }
+                            }
                         }
-                        step
+                        if epoch_error.borrow().is_some() || want_restore.get() {
+                            return None;
+                        }
+                        if step.is_empty() {
+                            *epoch_error.borrow_mut() = Some(SessionError::NoSurvivors { epoch });
+                            return None;
+                        }
+                        Some(step)
                     });
                     let mut recycled = 0usize;
                     let recycle = |item: PreparedBatch| {
@@ -494,6 +762,72 @@ impl ReplicatedEngine {
                 let epoch_seconds = epoch_wall.elapsed().as_secs_f64();
                 let allocs = alloc::snapshot().since(&alloc_before);
 
+                if let Some(err) = epoch_error.into_inner() {
+                    return Err(err);
+                }
+                if want_restore.get() {
+                    // Drain the survivors so their workers finish the
+                    // aborted epoch and park on their job channels, then
+                    // roll back and replace the casualties.
+                    let alive_after = alive.borrow().clone();
+                    for (r, &still_alive) in alive_after.iter().enumerate() {
+                        let ch = Arc::clone(&staged_channels.borrow()[r]);
+                        if !still_alive {
+                            while ch.try_recv().is_some() {}
+                            continue;
+                        }
+                        let mut got = consumed.borrow()[r];
+                        while got < steps {
+                            match ch.recv_timeout(stall_timeout) {
+                                RecvTimeout::Item(_) => got += 1,
+                                _ => break,
+                            }
+                        }
+                    }
+                    if restores_left == 0 {
+                        return Err(SessionError::Checkpoint(CheckpointError::Io(
+                            "restore budget exhausted: session keeps failing after rollback".into(),
+                        )));
+                    }
+                    restores_left -= 1;
+                    let Some(path) = self.config.checkpoint_path.as_ref() else {
+                        return Err(SessionError::Checkpoint(CheckpointError::Io(
+                            "FailurePolicy::Restore needs a configured checkpoint_path".into(),
+                        )));
+                    };
+                    let ck = checkpoint::load(path, digest)?;
+                    trainer
+                        .restore_state(&ck.state)
+                        .map_err(|m| SessionError::Checkpoint(CheckpointError::Corrupt(m)))?;
+                    for (r, &still_alive) in alive_after.iter().enumerate() {
+                        if still_alive {
+                            continue;
+                        }
+                        let jobs = Arc::new(Bounded::new(1));
+                        let staged = Arc::new(Bounded::new(self.config.pipeline.channel_depth));
+                        job_channels.borrow_mut()[r] = Arc::clone(&jobs);
+                        staged_channels.borrow_mut()[r] = Arc::clone(&staged);
+                        spawn_worker(r, jobs, staged);
+                        workers_spawned += 1;
+                        alive.borrow_mut()[r] = true;
+                    }
+                    let resume = (ck.next_epoch as usize).max(first_epoch);
+                    epochs.truncate(resume - first_epoch);
+                    epoch = resume;
+                    for r in 0..replicas {
+                        spare[r] = None;
+                        prev[r] = None;
+                    }
+                    continue;
+                }
+                let newly_dead = {
+                    let alive_now = alive.borrow();
+                    (0..replicas).any(|r| alive_at_start[r] && !alive_now[r])
+                };
+                if newly_dead {
+                    pending_redistribute = true;
+                }
+
                 let per_replica: Vec<ReplicaEpochStats> = (0..replicas)
                     .map(|r| {
                         let now = counters[r].baseline();
@@ -508,7 +842,7 @@ impl ReplicatedEngine {
                             local_picks: now.local_picks - base.local_picks,
                             remote_picks: now.remote_picks - base.remote_picks,
                             batches: steps,
-                            dropped_batches: lens[r] - steps,
+                            dropped_batches: lens[r].saturating_sub(steps),
                         }
                     })
                     .collect();
@@ -544,6 +878,7 @@ impl ReplicatedEngine {
                     reorder_peak: 0,
                     cache_hits,
                     cache_misses,
+                    failures: std::mem::take(&mut *timeline.lock().unwrap()),
                 };
 
                 let pre_eval_stage = alloc::set_stage(Stage::Other);
@@ -563,19 +898,46 @@ impl ReplicatedEngine {
                     interconnect_seconds,
                     allocs,
                     eval_seconds,
+                    checkpoint_bytes: 0,
+                    checkpoint_seconds: 0.0,
                 });
+
+                // Checkpoint cadence keys on the absolute epoch number so a
+                // restored session writes at the same boundaries as the
+                // uninterrupted run. The write lands after the epoch's
+                // timings are recorded, so it never skews them.
+                if checkpoint_on && (epoch + 1).is_multiple_of(self.config.checkpoint_every) {
+                    let t0 = Instant::now();
+                    let mut ck_backend = InlineRefresh::default();
+                    let state = trainer.capture_state(&mut ck_backend);
+                    let ck = Checkpoint {
+                        next_epoch: epoch as u64 + 1,
+                        replicas: replicas as u64,
+                        rng_seeds: replica_seeds.clone(),
+                        state,
+                    };
+                    let path = self.config.checkpoint_path.as_ref().unwrap();
+                    let bytes = checkpoint::save(path, digest, &ck)?;
+                    let run = epochs.last_mut().unwrap();
+                    run.checkpoint_bytes = bytes;
+                    run.checkpoint_seconds = t0.elapsed().as_secs_f64();
+                }
+
+                epoch += 1;
             }
+            Ok(())
         });
         alloc::set_stage(caller_stage);
+        outcome?;
 
-        ReplicatedSessionReport {
+        Ok(ReplicatedSessionReport {
             epochs,
             replicas,
             model_bytes,
-            workers_spawned: replicas,
+            workers_spawned,
             partition_cut_fraction: partition_stats.cut_fraction(),
             partition_balance: partition_stats.balance(),
-        }
+        })
     }
 
     /// Builds replica `r`'s feature cache: its hottest *owned* vertices,

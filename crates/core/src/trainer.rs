@@ -141,6 +141,44 @@ struct PendingRefresh {
     cpu: CpuPart,
 }
 
+/// The in-flight refresh double buffer, materialised for a checkpoint.
+/// Captured only after [`ConvergenceTrainer::settle_refresh`], so the CPU
+/// share is always concrete rows (never a task on a worker).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingSnapshot {
+    /// Version stamp of the training-device share.
+    pub gpu_version: u64,
+    /// Rows of the training-device share.
+    pub gpu_rows: Vec<(VertexId, Vec<f32>)>,
+    /// Version stamp of the CPU share.
+    pub cpu_version: u64,
+    /// Rows of the CPU share.
+    pub cpu_rows: Vec<(VertexId, Vec<f32>)>,
+}
+
+/// Everything about a [`ConvergenceTrainer`] that mutates across epochs —
+/// the complete checkpoint payload. Everything *not* here (hot set, model
+/// shapes, sampler, batch iterator) is a pure function of `(dataset,
+/// config)` and is rebuilt deterministically by [`ConvergenceTrainer::new`];
+/// all sampling/shuffling randomness is derived per `(seed, epoch, index)`,
+/// so no generator state exists to capture. Restoring this state into a
+/// freshly built trainer and training the remaining epochs is bit-identical
+/// to never having stopped.
+#[derive(Clone, Debug)]
+pub struct TrainerState {
+    /// Model parameter values, in the model's stable parameter order.
+    pub params: Vec<Matrix>,
+    /// Global batch counter == parameter version (§4.2.2).
+    pub version: u64,
+    /// The §4.1.3 hybrid-split knob (numerically inert, but restored so a
+    /// resumed session re-plans from where it left off).
+    pub refresh_cpu_fraction: f64,
+    /// Historical-embedding store image, including staleness counters.
+    pub store: Option<neutron_cache::StoreSnapshot>,
+    /// The refresh awaiting publication at the next super-batch boundary.
+    pub pending: Option<PendingSnapshot>,
+}
+
 /// A numeric trainer over a fully materialised [`Dataset`].
 pub struct ConvergenceTrainer {
     dataset: Arc<Dataset>,
@@ -642,6 +680,88 @@ impl ConvergenceTrainer {
         }
     }
 
+    /// Captures the trainer's complete mutable state for a checkpoint.
+    /// Settles any refresh still in flight on `backend` first: collecting a
+    /// submitted task yields exactly the rows a later `collect` would (the
+    /// task is a pure function of its snapshot), so settling is invisible
+    /// to the training trajectory — it only makes the state serializable.
+    pub fn capture_state(&mut self, backend: &mut dyn RefreshBackend) -> TrainerState {
+        self.settle_refresh(backend);
+        let pending = self.pending_refresh.as_ref().map(|p| {
+            let cpu = match &p.cpu {
+                CpuPart::Ready(out) => out,
+                CpuPart::Submitted => unreachable!("settle_refresh materialised the CPU share"),
+            };
+            PendingSnapshot {
+                gpu_version: p.gpu.version,
+                gpu_rows: p.gpu.rows.clone(),
+                cpu_version: cpu.version,
+                cpu_rows: cpu.rows.clone(),
+            }
+        });
+        TrainerState {
+            params: self.model.snapshot(),
+            version: self.version,
+            refresh_cpu_fraction: self.refresh_cpu_fraction,
+            store: self.store.as_ref().map(|s| s.snapshot()),
+            pending,
+        }
+    }
+
+    /// Overwrites the trainer's mutable state from a checkpoint — the
+    /// restore half of [`Self::capture_state`]. The trainer must have been
+    /// built from the same `(dataset, config)` the state was captured under
+    /// (shape mismatches are rejected); everything else about it is already
+    /// deterministic, so after this call the next `train_epoch(k)` is
+    /// bit-identical to the uninterrupted run's epoch `k`.
+    pub fn restore_state(&mut self, state: &TrainerState) -> Result<(), String> {
+        {
+            let mut params = self.model.params_mut();
+            if params.len() != state.params.len() {
+                return Err(format!(
+                    "parameter count mismatch: model has {}, checkpoint has {}",
+                    params.len(),
+                    state.params.len()
+                ));
+            }
+            for (i, (p, m)) in params.iter_mut().zip(&state.params).enumerate() {
+                if p.value.shape() != m.shape() {
+                    return Err(format!(
+                        "parameter {i} shape mismatch: model {:?}, checkpoint {:?}",
+                        p.value.shape(),
+                        m.shape()
+                    ));
+                }
+            }
+            for (p, m) in params.iter_mut().zip(&state.params) {
+                p.value.as_mut_slice().copy_from_slice(m.as_slice());
+                p.grad.fill_zero();
+            }
+        }
+        if let Some(snap) = &state.store {
+            if snap.dim != self.dataset.spec.hidden_dim {
+                return Err(format!(
+                    "store dimension mismatch: trainer {}, checkpoint {}",
+                    self.dataset.spec.hidden_dim, snap.dim
+                ));
+            }
+        }
+        self.version = state.version;
+        self.refresh_cpu_fraction = state.refresh_cpu_fraction;
+        self.store = state.store.as_ref().map(EmbeddingStore::from_snapshot);
+        self.pending_refresh = state.pending.as_ref().map(|p| PendingRefresh {
+            gpu: RefreshOutput {
+                rows: p.gpu_rows.clone(),
+                version: p.gpu_version,
+            },
+            cpu: CpuPart::Ready(RefreshOutput {
+                rows: p.cpu_rows.clone(),
+                version: p.cpu_version,
+            }),
+        });
+        Ok(())
+    }
+
     /// The hot-vertex set under `HotnessAware`, `None` otherwise.
     pub fn hot_set(&self) -> Option<&HotSet> {
         self.hot.as_ref()
@@ -799,6 +919,47 @@ mod tests {
         // Exact training reports no epsilon.
         let mut exact = trainer(ReusePolicy::Exact);
         assert_eq!(exact.train_epoch(0).staleness_epsilon, 0.0);
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_identically() {
+        let policy = || ReusePolicy::HotnessAware {
+            hot_ratio: 0.3,
+            super_batch: 2,
+        };
+        let mut full = trainer(policy());
+        let mut want = Vec::new();
+        for e in 0..6 {
+            let obs = full.train_epoch(e);
+            want.push((obs.train_loss.to_bits(), obs.max_staleness));
+        }
+        // Kill after epoch 3, checkpoint, restore into a fresh trainer.
+        let mut killed = trainer(policy());
+        for e in 0..3 {
+            killed.train_epoch(e);
+        }
+        let state = killed.capture_state(&mut InlineRefresh::default());
+        let mut resumed = trainer(policy());
+        resumed.restore_state(&state).unwrap();
+        for (e, want) in want.iter().enumerate().skip(3) {
+            let obs = resumed.train_epoch(e);
+            assert_eq!(
+                (obs.train_loss.to_bits(), obs.max_staleness),
+                *want,
+                "epoch {e} diverged after restore"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let mut small = trainer(ReusePolicy::Exact);
+        let state = small.capture_state(&mut InlineRefresh::default());
+        let ds = DatasetSpec::tiny().build_full();
+        let mut cfg = TrainerConfig::convergence_default(LayerKind::Gcn, ReusePolicy::Exact);
+        cfg.layers = 3; // different parameter list
+        let mut other = ConvergenceTrainer::new(ds, cfg);
+        assert!(other.restore_state(&state).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 pub mod adam;
 pub mod sgd;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use sgd::Sgd;
 
 use crate::param::Param;

@@ -41,6 +41,21 @@ impl BatchIterator {
         self.train.len()
     }
 
+    /// The iterator's shuffle seed. Together with an epoch number this is
+    /// the *complete* rng-stream state: every shuffle is derived fresh from
+    /// `seed ^ f(epoch)`, so checkpointing the seed and the next epoch
+    /// index reproduces all remaining batch orders — there is no hidden
+    /// generator position to save.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The training vertices, in their construction order (the order every
+    /// epoch shuffle starts from).
+    pub fn train_vertices(&self) -> &[VertexId] {
+        &self.train
+    }
+
     /// Returns the shuffled batches for `epoch`.
     pub fn epoch_batches(&self, epoch: usize) -> EpochBatches {
         let mut out = EpochBatches::default();

@@ -58,6 +58,12 @@ const CROSS_RUN_SLOWDOWN: f64 = 3.0;
 /// [`CROSS_RUN_SLOWDOWN`].
 const PR4_ENGINE_WARM_MEAN_SECONDS: f64 = 0.1189;
 
+/// Checkpoint overhead gate: the mean wall-clock of a checkpoint write may
+/// cost at most this fraction of the warm-epoch mean. Checkpointing is
+/// supposed to be cheap insurance — if serialization ever approaches epoch
+/// cost, the format (or the cadence default) has regressed.
+const MAX_CHECKPOINT_OVERHEAD_FRACTION: f64 = 0.05;
+
 /// Absolute budget for warm-epoch (epochs 1..) staging allocations —
 /// heap allocations attributed to the sample/gather/transfer stages per
 /// engine epoch. Measured 29–38/epoch on the pooled engine (capacity
@@ -461,6 +467,38 @@ fn diff_engine() -> Result<(), String> {
         &format!(
             "engine warm-epoch mean {warm_secs:.4}s regressed past \
              {PR4_ENGINE_WARM_MEAN_SECONDS}s x {CROSS_RUN_SLOWDOWN} (PR 4 baseline)"
+        ),
+    );
+
+    // Checkpoint telemetry: the bench runs the engine session with
+    // checkpointing on, so the series must show at least one write, and
+    // the mean write must stay under the overhead ceiling relative to the
+    // warm-epoch wall-clock mean.
+    let ck_bytes = series("checkpoint_bytes_per_epoch")?;
+    let ck_secs = series("checkpoint_seconds_per_epoch")?;
+    check(
+        ck_bytes.len() == epochs && ck_secs.len() == epochs,
+        "checkpoint series must span the epochs",
+    );
+    check(
+        ck_bytes.iter().sum::<f64>() > 0.0,
+        "no checkpoint was written during the bench — checkpointing was off",
+    );
+    check(
+        ck_bytes
+            .iter()
+            .zip(&ck_secs)
+            .all(|(&b, &s)| (b > 0.0) == (s > 0.0)),
+        "checkpoint bytes and seconds must be nonzero on exactly the same epochs",
+    );
+    let writes: Vec<f64> = ck_secs.iter().copied().filter(|&s| s > 0.0).collect();
+    let ck_mean = writes.iter().sum::<f64>() / writes.len().max(1) as f64;
+    check(
+        ck_mean <= MAX_CHECKPOINT_OVERHEAD_FRACTION * warm_secs,
+        &format!(
+            "mean checkpoint write {ck_mean:.4}s exceeds {:.0}% of the warm-epoch \
+             mean {warm_secs:.4}s",
+            100.0 * MAX_CHECKPOINT_OVERHEAD_FRACTION
         ),
     );
 

@@ -33,10 +33,14 @@ usage: cargo xtask <command>
 
 commands:
   profile <quickstart|pipeline|engine> [--timing [--allocs]] [--epochs N] [--replicas R]
+          [--faults SPEC [--policy fail|drop|restore]]
       run a workload under samply (default) or with timing hooks (--timing);
       --allocs adds a per-stage heap-allocation breakdown; --replicas R runs
       the engine workload data-parallel over an R-way graph partition with
-      per-replica per-stage tables
+      per-replica per-stage tables; --faults injects a deterministic fault
+      plan (e.g. crash@r1e2s3,stall@r0e1s0) into the engine workload and
+      prints the detection/recovery timeline, applying --policy on replica
+      failures (default fail)
   profile-exec <workload> [--epochs N] [--replicas R]
       run the workload inline (what samply wraps)
   bench-kernels [--update]
@@ -82,6 +86,29 @@ fn parse_replicas(args: &[String], workload: Workload) -> Result<usize, String> 
     Ok(replicas)
 }
 
+fn parse_flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn parse_policy(args: &[String]) -> Result<neutron_core::FailurePolicy, String> {
+    use neutron_core::FailurePolicy;
+    match parse_flag_value(args, "--policy")?.as_deref() {
+        None | Some("fail") => Ok(FailurePolicy::Fail),
+        Some("drop") => Ok(FailurePolicy::DropReplica),
+        Some("restore") => Ok(FailurePolicy::Restore),
+        Some(other) => Err(format!(
+            "bad --policy value '{other}' (expected fail | drop | restore)"
+        )),
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -94,7 +121,10 @@ fn run() -> Result<(), String> {
             let workload = Workload::parse(name)?;
             let epochs = parse_epochs(rest)?;
             let replicas = parse_replicas(rest, workload)?;
-            if rest.iter().any(|a| a == "--timing") {
+            if let Some(faults) = parse_flag_value(rest, "--faults")? {
+                let policy = parse_policy(rest)?;
+                profile::fault_run(workload, epochs, replicas, &faults, policy)
+            } else if rest.iter().any(|a| a == "--timing") {
                 profile::timing_run(
                     workload,
                     epochs,

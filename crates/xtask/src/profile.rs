@@ -7,7 +7,8 @@
 //! swapped to the inline `profile-exec` runner, so the profiled process is
 //! nothing but the workload.
 
-use neutron_core::engine::{EngineConfig, TrainingEngine};
+use neutron_core::engine::{EngineConfig, SessionError, TrainingEngine};
+use neutron_core::fault::{FailureEvent, FailurePolicy, FaultPlan};
 use neutron_core::pipeline::{PipelineConfig, PipelineExecutor, PipelineReport};
 use neutron_core::replica::{ReplicatedConfig, ReplicatedEngine, ReplicatedSessionReport};
 use neutron_core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
@@ -15,7 +16,8 @@ use neutron_graph::DatasetSpec;
 use neutron_nn::LayerKind;
 use neutron_tensor::{alloc, timing};
 use std::process::Command;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The named workloads `xtask profile` can drive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -314,6 +316,128 @@ pub fn timing_run(workload: Workload, epochs: usize, replicas: usize, allocs: bo
             per_epoch(alloc_snap.staging_allocs())
         );
     }
+}
+
+/// One summarized epoch of a fault-injection run, engine-agnostic.
+struct FaultEpochRow {
+    epoch: usize,
+    train_loss: f32,
+    failures: Vec<FailureEvent>,
+    checkpoint_bytes: u64,
+    checkpoint_seconds: f64,
+}
+
+/// `xtask profile engine --faults <spec>`: run the engine workload with a
+/// deterministic fault plan injected and print the detection/recovery
+/// timeline. A session that ends in a typed [`SessionError`] still exits 0
+/// — the harness exists to prove faults *terminate* (recover or error),
+/// never hang; only a malformed spec is a tool error.
+pub fn fault_run(
+    workload: Workload,
+    epochs: usize,
+    replicas: usize,
+    faults: &str,
+    policy: FailurePolicy,
+) -> Result<(), String> {
+    if workload != Workload::Engine {
+        return Err("--faults applies to the 'engine' workload only".into());
+    }
+    let plan = Arc::new(FaultPlan::parse(faults)?);
+    println!(
+        "fault plan ({} scheduled, policy {policy:?}):",
+        plan.specs().count()
+    );
+    for spec in plan.specs() {
+        println!("  scheduled: {spec}");
+    }
+
+    let spec = scaled_spec();
+    let mut trainer = scaled_trainer(&spec);
+    let ck_path =
+        std::env::temp_dir().join(format!("neutronorch-faultrun-{}.ck", std::process::id()));
+    // Short stall timeout: an injected stall should be detected in under a
+    // second, not after the production-grade default.
+    let stall_timeout = Duration::from_millis(500);
+    let t0 = Instant::now();
+    let outcome: Result<Vec<FaultEpochRow>, SessionError> = if replicas > 1 {
+        let engine = ReplicatedEngine::new(ReplicatedConfig {
+            replicas,
+            fault_plan: Some(Arc::clone(&plan)),
+            on_replica_failure: policy,
+            checkpoint_every: 1,
+            checkpoint_path: Some(ck_path.clone()),
+            stall_timeout,
+            ..ReplicatedConfig::default()
+        });
+        engine
+            .run_session_checked(&mut trainer, 0, epochs)
+            .map(|session| {
+                session
+                    .epochs
+                    .iter()
+                    .map(|run| FaultEpochRow {
+                        epoch: run.epoch,
+                        train_loss: run.observation.train_loss,
+                        failures: run.report.failures.clone(),
+                        checkpoint_bytes: run.checkpoint_bytes,
+                        checkpoint_seconds: run.checkpoint_seconds,
+                    })
+                    .collect()
+            })
+    } else {
+        let engine = TrainingEngine::new(EngineConfig {
+            fault_plan: Some(Arc::clone(&plan)),
+            checkpoint_every: 1,
+            checkpoint_path: Some(ck_path.clone()),
+            stall_timeout,
+            ..EngineConfig::default()
+        });
+        engine
+            .run_session_checked(&mut trainer, 0, epochs)
+            .map(|session| {
+                session
+                    .epochs
+                    .iter()
+                    .map(|run| FaultEpochRow {
+                        epoch: run.epoch,
+                        train_loss: run.observation.train_loss,
+                        failures: run.report.failures.clone(),
+                        checkpoint_bytes: run.checkpoint_bytes,
+                        checkpoint_seconds: run.checkpoint_seconds,
+                    })
+                    .collect()
+            })
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&ck_path);
+
+    println!("\ntimeline:");
+    match outcome {
+        Ok(rows) => {
+            for row in &rows {
+                print!("  epoch {}: loss {:.4}", row.epoch, row.train_loss);
+                if row.checkpoint_bytes > 0 {
+                    print!(
+                        ", checkpoint {} B in {:.3}s",
+                        row.checkpoint_bytes, row.checkpoint_seconds
+                    );
+                }
+                println!();
+                for event in &row.failures {
+                    println!("    {event}");
+                }
+            }
+            println!(
+                "session completed in {wall:.2}s ({} epochs recorded)",
+                rows.len()
+            );
+        }
+        Err(err) => {
+            println!("  session ended with typed error after {wall:.2}s:");
+            println!("    {err}");
+        }
+    }
+    Ok(())
 }
 
 /// `xtask profile <workload>`: wrap the inline runner in `samply record`.

@@ -52,6 +52,10 @@ const EPOCHS: usize = 8;
 const SUPER_BATCH: usize = 2;
 const SAMPLER_THREADS: usize = 2;
 const GATHER_THREADS: usize = 1;
+/// Engine-session checkpoint cadence: every other epoch, so the bench
+/// measures the write cost (`checkpoint_*_per_epoch` series) on the same
+/// run the determinism asserts cover.
+const CHECKPOINT_EVERY: usize = 2;
 
 fn trainer(spec: &DatasetSpec) -> ConvergenceTrainer {
     let config = TrainerConfig {
@@ -159,6 +163,8 @@ fn main() {
         pipeline,
         adaptive_split: true,
         gpu_free_bytes: 64 << 20,
+        checkpoint_every: CHECKPOINT_EVERY,
+        checkpoint_path: Some("target/bench_checkpoint.ck".into()),
         ..EngineConfig::default()
     };
     let (budget, alpha, hysteresis) = (
@@ -337,6 +343,30 @@ fn main() {
             "\n(no counting allocator installed — rerun with --features count-allocs for alloc telemetry)"
         );
     }
+
+    // --- Checkpoint overhead telemetry: the session wrote a checkpoint
+    // after every CHECKPOINT_EVERY-th epoch; the write cost is measured
+    // outside the epoch's timed window, so it's reported (and gated in
+    // `xtask bench-diff`) as its own series.
+    let ck_bytes: Vec<u64> = session.epochs.iter().map(|r| r.checkpoint_bytes).collect();
+    let ck_secs: Vec<f64> = session
+        .epochs
+        .iter()
+        .map(|r| r.checkpoint_seconds)
+        .collect();
+    let writes: Vec<f64> = ck_secs.iter().copied().filter(|&s| s > 0.0).collect();
+    assert!(
+        !writes.is_empty(),
+        "the engine session must have written checkpoints"
+    );
+    let ck_mean = writes.iter().sum::<f64>() / writes.len() as f64;
+    println!(
+        "checkpoints: {} writes of {} B, mean {:.4}s each ({:.1}% of the warm-epoch mean)",
+        writes.len(),
+        ck_bytes.iter().copied().max().unwrap_or(0),
+        ck_mean,
+        100.0 * ck_mean / warm(&engine_secs),
+    );
 
     println!(
         "warm epochs vs PR 3 baseline: engine {:.4}s vs {:.4}s ({:.2}x), respawn {:.4}s vs {:.4}s ({:.2}x)",
@@ -523,8 +553,19 @@ fn main() {
         format!("{{\n{}\n  }}", rows.join(",\n"))
     };
     let repl_staging_json = fmt_series_u64(&replicated_staging_allocs);
+    let ck_bytes_json = fmt_series_u64(&ck_bytes);
+    // Six decimals: a checkpoint write is sub-millisecond, and the gate in
+    // xtask bench-diff cross-checks nonzero seconds against nonzero bytes.
+    let ck_secs_json = format!(
+        "[{}]",
+        ck_secs
+            .iter()
+            .map(|x| format!("{x:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let json = format!(
-        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"gpu_cache_budget_bytes\": {},\n  \"occupancy_ewma_alpha\": {},\n  \"split_hysteresis\": {},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"pr3_engine_warm_mean_seconds\": {PR3_ENGINE_WARM_MEAN_SECONDS},\n  \"pr3_respawn_warm_mean_seconds\": {PR3_RESPAWN_WARM_MEAN_SECONDS},\n  \"engine_warm_speedup_vs_pr3\": {:.2},\n  \"stage_seconds\": {stage_seconds},\n  \"kernel_seconds\": {kernel_seconds},\n  \"alloc_counting\": {alloc_counting},\n  \"allocs_per_epoch\": {allocs_per_epoch},\n  \"alloc_bytes_per_epoch\": {alloc_bytes_per_epoch},\n  \"sequential_staging_allocs_per_epoch\": {seq_staging_json},\n  \"engine_staging_allocs_per_epoch\": {eng_staging_json},\n  \"engine_warm_staging_allocs_per_epoch\": {eng_warm_staging},\n  \"replicas\": {REPLICAS},\n  \"model_bytes\": {},\n  \"partition_cut_fraction\": {:.4},\n  \"partition_balance\": {:.4},\n  \"replicated_r1_matches_sequential\": true,\n  \"replica_steps_per_epoch\": {repl_steps_json},\n  \"allreduce_bytes_per_epoch\": {allreduce_json},\n  \"remote_feature_bytes_per_epoch\": {remote_json},\n  \"remote_feature_bytes_per_epoch_blind\": {remote_blind_json},\n  \"interconnect_seconds_per_epoch\": {interconnect_json},\n  \"replica_epoch_seconds\": {replica_epoch_json},\n  \"replicated_staging_allocs_per_epoch\": {repl_staging_json},\n  \"refresh_sharded\": {refresh_sharded},\n  \"adaptive_cpu_fraction\": {},\n  \"smoothed_occupancy\": {},\n  \"cached_vertices_per_epoch\": {},\n  \"cache_hits_per_epoch\": {},\n  \"cache_misses_per_epoch\": {},\n  \"h2d_bytes_per_epoch\": {},\n  \"h2d_bytes_per_epoch_nocache\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
+        "{{\n  \"dataset\": \"{}\",\n  \"replica_vertices\": {},\n  \"epochs\": {},\n  \"super_batch\": {},\n  \"sampler_threads\": {},\n  \"gather_threads\": {},\n  \"h2d_gibps\": {:.4},\n  \"gpu_cache_budget_bytes\": {},\n  \"occupancy_ewma_alpha\": {},\n  \"split_hysteresis\": {},\n  \"sequential_epoch_seconds\": {},\n  \"respawn_epoch_seconds\": {},\n  \"engine_epoch_seconds\": {},\n  \"engine_epoch1_seconds\": {:.4},\n  \"engine_warm_mean_seconds\": {:.4},\n  \"respawn_warm_mean_seconds\": {:.4},\n  \"pr3_engine_warm_mean_seconds\": {PR3_ENGINE_WARM_MEAN_SECONDS},\n  \"pr3_respawn_warm_mean_seconds\": {PR3_RESPAWN_WARM_MEAN_SECONDS},\n  \"engine_warm_speedup_vs_pr3\": {:.2},\n  \"stage_seconds\": {stage_seconds},\n  \"kernel_seconds\": {kernel_seconds},\n  \"alloc_counting\": {alloc_counting},\n  \"allocs_per_epoch\": {allocs_per_epoch},\n  \"alloc_bytes_per_epoch\": {alloc_bytes_per_epoch},\n  \"sequential_staging_allocs_per_epoch\": {seq_staging_json},\n  \"engine_staging_allocs_per_epoch\": {eng_staging_json},\n  \"engine_warm_staging_allocs_per_epoch\": {eng_warm_staging},\n  \"checkpoint_every\": {CHECKPOINT_EVERY},\n  \"checkpoint_bytes_per_epoch\": {ck_bytes_json},\n  \"checkpoint_seconds_per_epoch\": {ck_secs_json},\n  \"replicas\": {REPLICAS},\n  \"model_bytes\": {},\n  \"partition_cut_fraction\": {:.4},\n  \"partition_balance\": {:.4},\n  \"replicated_r1_matches_sequential\": true,\n  \"replica_steps_per_epoch\": {repl_steps_json},\n  \"allreduce_bytes_per_epoch\": {allreduce_json},\n  \"remote_feature_bytes_per_epoch\": {remote_json},\n  \"remote_feature_bytes_per_epoch_blind\": {remote_blind_json},\n  \"interconnect_seconds_per_epoch\": {interconnect_json},\n  \"replica_epoch_seconds\": {replica_epoch_json},\n  \"replicated_staging_allocs_per_epoch\": {repl_staging_json},\n  \"refresh_sharded\": {refresh_sharded},\n  \"adaptive_cpu_fraction\": {},\n  \"smoothed_occupancy\": {},\n  \"cached_vertices_per_epoch\": {},\n  \"cache_hits_per_epoch\": {},\n  \"cache_misses_per_epoch\": {},\n  \"h2d_bytes_per_epoch\": {},\n  \"h2d_bytes_per_epoch_nocache\": {},\n  \"refresh_worker_seconds\": {},\n  \"train_occupancy\": {},\n  \"workers_spawned_once\": {},\n  \"engine_startup_seconds\": {:.4},\n  \"losses\": {}\n}}\n",
         spec.name,
         spec.vertices,
         EPOCHS,

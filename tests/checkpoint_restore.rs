@@ -1,0 +1,602 @@
+//! Checkpoint/restore correctness: codec round-trips are bit-exact for
+//! every checkpointed component (arbitrary IEEE bit patterns included),
+//! damaged files are rejected with typed errors — never a panic or a
+//! silently-wrong resume — and a session killed at any epoch boundary and
+//! restored from its checkpoint is bit-identical to the uninterrupted run
+//! for both the single-replica engine and the replicated engine at any R.
+
+use neutronorch::cache::StoreSnapshot;
+use neutronorch::core::checkpoint::{
+    self, checkpoint_from_bytes, checkpoint_to_bytes, decode_adam, decode_params, decode_rows,
+    decode_seeds, decode_store, encode_adam, encode_params, encode_rows, encode_seeds,
+    encode_store, Checkpoint, CheckpointError, Reader, Writer, FORMAT_VERSION,
+};
+use neutronorch::core::engine::{EngineConfig, TrainingEngine};
+use neutronorch::core::pipeline::PipelineConfig;
+use neutronorch::core::replica::{ReplicatedConfig, ReplicatedEngine};
+use neutronorch::core::trainer::{
+    ConvergenceTrainer, PendingSnapshot, ReusePolicy, TrainerConfig, TrainerState,
+};
+use neutronorch::core::InlineRefresh;
+use neutronorch::graph::{DatasetSpec, VertexId};
+use neutronorch::nn::optim::AdamState;
+use neutronorch::nn::LayerKind;
+use neutronorch::tensor::Matrix;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+fn trainer() -> ConvergenceTrainer {
+    let ds = DatasetSpec::tiny().build_full();
+    let mut cfg = TrainerConfig::convergence_default(
+        LayerKind::Gcn,
+        ReusePolicy::HotnessAware {
+            hot_ratio: 0.25,
+            super_batch: 2,
+        },
+    );
+    cfg.batch_size = 48;
+    cfg.lr = 0.4;
+    ConvergenceTrainer::new(ds, cfg)
+}
+
+fn engine(sampler_threads: usize, ck: Option<(&PathBuf, usize)>) -> TrainingEngine {
+    TrainingEngine::new(EngineConfig {
+        pipeline: PipelineConfig {
+            sampler_threads,
+            gather_threads: 1,
+            channel_depth: 3,
+            h2d_gibps: 0.0,
+        },
+        gpu_free_bytes: 64 << 20,
+        checkpoint_every: ck.map(|(_, every)| every).unwrap_or(0),
+        checkpoint_path: ck.map(|(path, _)| path.clone()),
+        ..EngineConfig::default()
+    })
+}
+
+fn replicated(replicas: usize, ck: Option<(&PathBuf, usize)>) -> ReplicatedEngine {
+    ReplicatedEngine::new(ReplicatedConfig {
+        replicas,
+        checkpoint_every: ck.map(|(_, every)| every).unwrap_or(0),
+        checkpoint_path: ck.map(|(path, _)| path.clone()),
+        ..ReplicatedConfig::default()
+    })
+}
+
+fn ck_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nock-test-{}-{tag}.ck", std::process::id()))
+}
+
+/// Canonical byte image of a trainer's full mutable state — the equality
+/// oracle for "bit-identical" (TrainerState holds f32s whose NaN payloads
+/// `PartialEq` would mishandle; the codec preserves raw bits). The
+/// adaptive-split knob is masked and the pending refresh's gpu/cpu shares
+/// are merged: both are governed by the measured-occupancy split, which
+/// varies run to run while being numerically inert — it only moves rows
+/// between devices, and publication merges the shares identically.
+fn state_bytes(t: &mut ConvergenceTrainer, replicas: usize) -> Vec<u8> {
+    let digest = checkpoint::config_digest(t.config(), replicas);
+    let mut state = t.capture_state(&mut InlineRefresh::default());
+    state.refresh_cpu_fraction = 0.0;
+    if let Some(p) = state.pending.as_mut() {
+        assert_eq!(p.gpu_version, p.cpu_version, "shares of one refresh task");
+        let mut rows: Vec<_> = p.gpu_rows.drain(..).chain(p.cpu_rows.drain(..)).collect();
+        rows.sort_by_key(|&(v, _)| v);
+        p.cpu_rows = rows;
+    }
+    checkpoint_to_bytes(
+        digest,
+        &Checkpoint {
+            next_epoch: 0,
+            replicas: replicas as u64,
+            rng_seeds: Vec::new(),
+            state,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Proptest strategies: arbitrary IEEE bit patterns, not just "nice" floats.
+// ---------------------------------------------------------------------------
+
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+/// `n` values of `inner` (the vendored strategies only take ranges).
+fn exactly<S: Strategy>(inner: S, n: usize) -> impl Strategy<Value = Vec<S::Value>> {
+    proptest::collection::vec(inner, n..n + 1)
+}
+
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        exactly(any_f32_bits(), r * c).prop_map(move |cells| Matrix::from_vec(r, c, cells))
+    })
+}
+
+fn params() -> impl Strategy<Value = Vec<Matrix>> {
+    proptest::collection::vec(matrix(4), 0..4)
+}
+
+fn adam_state() -> impl Strategy<Value = AdamState> {
+    let pair = (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+        (
+            exactly(any_f32_bits(), r * c),
+            exactly(any_f32_bits(), r * c),
+        )
+            .prop_map(move |(m, v)| (Matrix::from_vec(r, c, m), Matrix::from_vec(r, c, v)))
+    });
+    (any::<u64>(), proptest::collection::vec(pair, 0..4))
+        .prop_map(|(t, moments)| AdamState { t, moments })
+}
+
+fn refresh_rows(dim: usize) -> impl Strategy<Value = Vec<(VertexId, Vec<f32>)>> {
+    proptest::collection::vec((any::<u32>(), exactly(any_f32_bits(), dim)), 0..5)
+}
+
+fn store_snapshot() -> impl Strategy<Value = StoreSnapshot> {
+    (1usize..5).prop_flat_map(|dim| {
+        (
+            proptest::option::of(any::<u64>()),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec((exactly(any_f32_bits(), dim), any::<u64>()), 0..6),
+        )
+            .prop_map(move |(bound, max_observed_gap, reads, raw)| StoreSnapshot {
+                dim,
+                bound,
+                // Ascending distinct vertex ids, as the store emits them.
+                rows: raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (row, version))| (3 * i as VertexId, row, version))
+                    .collect(),
+                max_observed_gap,
+                reads,
+            })
+    })
+}
+
+fn trainer_state() -> impl Strategy<Value = TrainerState> {
+    (
+        params(),
+        any::<u64>(),
+        any::<u64>().prop_map(f64::from_bits),
+        proptest::option::of(store_snapshot()),
+        proptest::option::of((any::<u64>(), refresh_rows(3), any::<u64>(), refresh_rows(3))),
+    )
+        .prop_map(
+            |(params, version, refresh_cpu_fraction, store, pending)| TrainerState {
+                params,
+                version,
+                refresh_cpu_fraction,
+                store,
+                pending: pending.map(|(gpu_version, gpu_rows, cpu_version, cpu_rows)| {
+                    PendingSnapshot {
+                        gpu_version,
+                        gpu_rows,
+                        cpu_version,
+                        cpu_rows,
+                    }
+                }),
+            },
+        )
+}
+
+fn bits_of(params: &[Matrix]) -> Vec<Vec<u32>> {
+    params
+        .iter()
+        .map(|m| m.as_slice().iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Component codec round-trips.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `decode(encode(params))` preserves shapes and raw IEEE bits —
+    /// including NaN payloads, infinities and negative zero.
+    #[test]
+    fn params_round_trip_bit_exactly(ps in params()) {
+        let mut w = Writer::new();
+        encode_params(&mut w, &ps);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_params(&mut r).expect("decode");
+        prop_assert_eq!(r.remaining(), 0);
+        prop_assert_eq!(
+            back.iter().map(Matrix::shape).collect::<Vec<_>>(),
+            ps.iter().map(Matrix::shape).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(bits_of(&back), bits_of(&ps));
+    }
+
+    /// Adam moments round-trip bit-exactly, step counter included.
+    #[test]
+    fn adam_state_round_trips_bit_exactly(state in adam_state()) {
+        let mut w = Writer::new();
+        encode_adam(&mut w, &state);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_adam(&mut r).expect("decode");
+        prop_assert_eq!(r.remaining(), 0);
+        prop_assert_eq!(back.t, state.t);
+        let split = |s: &AdamState| {
+            let (m, v): (Vec<_>, Vec<_>) = s.moments.iter().cloned().unzip();
+            (bits_of(&m), bits_of(&v))
+        };
+        prop_assert_eq!(split(&back), split(&state));
+    }
+
+    /// Refresh rows (vertex id + embedding row) round-trip bit-exactly.
+    #[test]
+    fn refresh_rows_round_trip_bit_exactly(rows in refresh_rows(3)) {
+        let mut w = Writer::new();
+        encode_rows(&mut w, &rows);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_rows(&mut r).expect("decode");
+        prop_assert_eq!(r.remaining(), 0);
+        let key = |rs: &[(VertexId, Vec<f32>)]| -> Vec<(VertexId, Vec<u32>)> {
+            rs.iter()
+                .map(|(v, row)| (*v, row.iter().map(|x| x.to_bits()).collect()))
+                .collect()
+        };
+        prop_assert_eq!(key(&back), key(&rows));
+    }
+
+    /// The embedding-store snapshot — rows, versions, staleness counters —
+    /// round-trips bit-exactly.
+    #[test]
+    fn store_snapshot_round_trips_bit_exactly(snap in store_snapshot()) {
+        let mut w = Writer::new();
+        encode_store(&mut w, &snap);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_store(&mut r).expect("decode");
+        prop_assert_eq!(r.remaining(), 0);
+        prop_assert_eq!(back.dim, snap.dim);
+        prop_assert_eq!(back.bound, snap.bound);
+        prop_assert_eq!(back.max_observed_gap, snap.max_observed_gap);
+        prop_assert_eq!(back.reads, snap.reads);
+        let key = |s: &StoreSnapshot| -> Vec<(VertexId, Vec<u32>, u64)> {
+            s.rows
+                .iter()
+                .map(|(v, row, ver)| (*v, row.iter().map(|x| x.to_bits()).collect(), *ver))
+                .collect()
+        };
+        prop_assert_eq!(key(&back), key(&snap));
+    }
+
+    /// The rng-stream state (per-replica derived seeds) round-trips.
+    #[test]
+    fn rng_seeds_round_trip(seeds in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let mut w = Writer::new();
+        encode_seeds(&mut w, &seeds);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(decode_seeds(&mut r).expect("decode"), seeds);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// A whole checkpoint survives the on-disk image: header, payload and
+    /// checksum agree, and every field — counters, seeds, full trainer
+    /// state — comes back bit-identical (compared via re-serialization,
+    /// which preserves raw float bits).
+    #[test]
+    fn whole_checkpoint_round_trips_bit_exactly(
+        next_epoch in any::<u64>(),
+        replicas in 1u64..8,
+        seeds in proptest::collection::vec(any::<u64>(), 0..5),
+        state in trainer_state(),
+        digest in any::<u64>(),
+    ) {
+        let ck = Checkpoint { next_epoch, replicas, rng_seeds: seeds, state };
+        let bytes = checkpoint_to_bytes(digest, &ck);
+        let back = checkpoint_from_bytes(&bytes, digest).expect("parse");
+        prop_assert_eq!(back.next_epoch, ck.next_epoch);
+        prop_assert_eq!(back.replicas, ck.replicas);
+        prop_assert_eq!(&back.rng_seeds, &ck.rng_seeds);
+        prop_assert_eq!(checkpoint_to_bytes(digest, &back), bytes);
+    }
+
+    /// Every single-byte corruption of a checkpoint image is rejected with
+    /// a typed error — the checksum (or a header check) catches it; no
+    /// corrupted file ever parses.
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        state in trainer_state(),
+        flip_bit in 0u8..8,
+        pos_seed in any::<u64>(),
+    ) {
+        let ck = Checkpoint { next_epoch: 2, replicas: 1, rng_seeds: vec![7], state };
+        let digest = 0xfeed_face_u64;
+        let mut bytes = checkpoint_to_bytes(digest, &ck);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            checkpoint_from_bytes(&bytes, digest).is_err(),
+            "flip at byte {} must not parse", pos
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Damaged / mismatched files: typed rejection, never a panic.
+// ---------------------------------------------------------------------------
+
+/// Every strict prefix of a checkpoint image fails with a typed error
+/// (`Truncated` or `Corrupt`), and a file truncated on disk is equally
+/// rejected by `load`.
+#[test]
+fn every_truncation_is_rejected_with_a_typed_error() {
+    let ck = Checkpoint {
+        next_epoch: 1,
+        replicas: 2,
+        rng_seeds: vec![11, 12],
+        state: TrainerState {
+            params: vec![Matrix::from_vec(2, 2, vec![1.0, -0.0, f32::NAN, 3.5])],
+            version: 9,
+            refresh_cpu_fraction: 0.5,
+            store: None,
+            pending: None,
+        },
+    };
+    let digest = 42;
+    let bytes = checkpoint_to_bytes(digest, &ck);
+    for cut in 0..bytes.len() {
+        match checkpoint_from_bytes(&bytes[..cut], digest) {
+            Err(CheckpointError::Truncated) | Err(CheckpointError::Corrupt(_)) => {}
+            Err(CheckpointError::BadMagic) if cut < 4 => {}
+            other => panic!("prefix of {cut} bytes: expected typed rejection, got {other:?}"),
+        }
+    }
+
+    let path = ck_path("truncated");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    assert!(matches!(
+        checkpoint::load(&path, digest),
+        Err(CheckpointError::Truncated) | Err(CheckpointError::Corrupt(_))
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Wrong magic, a future format version, and a digest from a different
+/// config each map to their own typed error.
+#[test]
+fn header_mismatches_map_to_typed_errors() {
+    let ck = Checkpoint {
+        next_epoch: 0,
+        replicas: 1,
+        rng_seeds: vec![],
+        state: TrainerState {
+            params: vec![],
+            version: 0,
+            refresh_cpu_fraction: 0.0,
+            store: None,
+            pending: None,
+        },
+    };
+    let digest = 7;
+    let good = checkpoint_to_bytes(digest, &ck);
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert_eq!(
+        checkpoint_from_bytes(&bad_magic, digest).err(),
+        Some(CheckpointError::BadMagic)
+    );
+
+    // Version is a little-endian u32 at offset 4; bump it and re-seal the
+    // checksum so the version check (not the checksum) fires.
+    let mut newer = good.clone();
+    newer[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let body_end = newer.len() - 8;
+    let reseal = checkpoint::fnv1a(&newer[..body_end]);
+    newer[body_end..].copy_from_slice(&reseal.to_le_bytes());
+    assert_eq!(
+        checkpoint_from_bytes(&newer, digest).err(),
+        Some(CheckpointError::UnsupportedVersion(FORMAT_VERSION + 1))
+    );
+
+    assert_eq!(
+        checkpoint_from_bytes(&good, digest ^ 1).err(),
+        Some(CheckpointError::ConfigMismatch {
+            expected: digest ^ 1,
+            found: digest,
+        })
+    );
+}
+
+/// The digest binds a checkpoint to the writing configuration: the same
+/// trainer config hashes identically, and changing any
+/// trajectory-shaping knob (or the replica count) changes the digest.
+#[test]
+fn config_digest_separates_configurations() {
+    let base = trainer().config().clone();
+    let d = checkpoint::config_digest(&base, 1);
+    assert_eq!(checkpoint::config_digest(&base, 1), d);
+    assert_ne!(checkpoint::config_digest(&base, 2), d);
+    let mut other = base.clone();
+    other.seed ^= 1;
+    assert_ne!(checkpoint::config_digest(&other, 1), d);
+    let mut other = base.clone();
+    other.batch_size += 1;
+    assert_ne!(checkpoint::config_digest(&other, 1), d);
+    let mut other = base;
+    other.lr += 0.1;
+    assert_ne!(checkpoint::config_digest(&other, 1), d);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level kill/restore identity.
+// ---------------------------------------------------------------------------
+
+/// The tentpole acceptance test for the single-replica engine: run k
+/// epochs with checkpointing on, "kill" the session (drop every in-memory
+/// object), restore a fresh trainer from the file and finish the session.
+/// Every remaining epoch's loss and the final trainer state must be
+/// bit-identical to the uninterrupted run — at every tested thread count
+/// and every kill point.
+#[test]
+fn killed_engine_session_restores_bit_identically() {
+    const TOTAL: usize = 4;
+    for sampler_threads in [1, 3] {
+        let mut full = trainer();
+        let uninterrupted = engine(sampler_threads, None).run_session(&mut full, 0, TOTAL);
+        let losses: Vec<u32> = uninterrupted
+            .epochs
+            .iter()
+            .map(|r| r.observation.train_loss.to_bits())
+            .collect();
+        let final_state = state_bytes(&mut full, 1);
+
+        for kill_after in [1, 2, 3] {
+            let path = ck_path(&format!("eng-t{sampler_threads}-k{kill_after}"));
+            let mut first = trainer();
+            let digest = checkpoint::config_digest(first.config(), 1);
+            engine(sampler_threads, Some((&path, 1))).run_session(&mut first, 0, kill_after);
+            drop(first); // the "kill": all in-memory state is gone
+
+            let ck = checkpoint::load(&path, digest).expect("load checkpoint");
+            assert_eq!(ck.next_epoch as usize, kill_after);
+            assert_eq!(ck.replicas, 1);
+            let mut resumed = trainer();
+            resumed.restore_state(&ck.state).expect("restore");
+            let rest = engine(sampler_threads, None).run_session(
+                &mut resumed,
+                kill_after,
+                TOTAL - kill_after,
+            );
+            let resumed_losses: Vec<u32> = rest
+                .epochs
+                .iter()
+                .map(|r| r.observation.train_loss.to_bits())
+                .collect();
+            assert_eq!(
+                resumed_losses,
+                losses[kill_after..],
+                "threads={sampler_threads} kill_after={kill_after}: resumed losses diverge"
+            );
+            assert_eq!(
+                state_bytes(&mut resumed, 1),
+                final_state,
+                "threads={sampler_threads} kill_after={kill_after}: final state diverges"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Same kill/restore identity for the replicated engine at R ∈ {1, 2, 4}:
+/// the checkpoint also carries the per-replica rng seeds, and the restored
+/// session must reproduce the uninterrupted run's losses and final state
+/// bit-for-bit at every width.
+#[test]
+fn killed_replicated_session_restores_bit_identically_at_any_width() {
+    const TOTAL: usize = 4;
+    for replicas in [1usize, 2, 4] {
+        let mut full = trainer();
+        let uninterrupted = replicated(replicas, None).run_session(&mut full, 0, TOTAL);
+        let losses: Vec<u32> = uninterrupted
+            .epochs
+            .iter()
+            .map(|r| r.observation.train_loss.to_bits())
+            .collect();
+        let final_state = state_bytes(&mut full, replicas);
+
+        for kill_after in [1, 2] {
+            let path = ck_path(&format!("rep-r{replicas}-k{kill_after}"));
+            let mut first = trainer();
+            let digest = checkpoint::config_digest(first.config(), replicas);
+            let seed = first.config().seed;
+            replicated(replicas, Some((&path, 1))).run_session(&mut first, 0, kill_after);
+            drop(first);
+
+            let ck = checkpoint::load(&path, digest).expect("load checkpoint");
+            assert_eq!(ck.next_epoch as usize, kill_after);
+            assert_eq!(ck.replicas as usize, replicas);
+            assert_eq!(ck.rng_seeds.len(), replicas);
+            // Replica 0's salt vanishes: its stream seed is the config seed.
+            assert_eq!(ck.rng_seeds[0], seed);
+
+            let mut resumed = trainer();
+            resumed.restore_state(&ck.state).expect("restore");
+            let rest = replicated(replicas, None).run_session(
+                &mut resumed,
+                kill_after,
+                TOTAL - kill_after,
+            );
+            let resumed_losses: Vec<u32> = rest
+                .epochs
+                .iter()
+                .map(|r| r.observation.train_loss.to_bits())
+                .collect();
+            assert_eq!(
+                resumed_losses,
+                losses[kill_after..],
+                "R={replicas} kill_after={kill_after}: resumed losses diverge"
+            );
+            assert_eq!(
+                state_bytes(&mut resumed, replicas),
+                final_state,
+                "R={replicas} kill_after={kill_after}: final state diverges"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// A cross-width restore is refused: a checkpoint written at R=2 does not
+/// load under the R=1 digest, so a session can never silently resume at
+/// the wrong parallelism.
+#[test]
+fn checkpoint_is_bound_to_the_replica_count() {
+    let path = ck_path("width-bound");
+    let mut t = trainer();
+    let digest_r2 = checkpoint::config_digest(t.config(), 2);
+    let digest_r1 = checkpoint::config_digest(t.config(), 1);
+    replicated(2, Some((&path, 1))).run_session(&mut t, 0, 1);
+    assert!(checkpoint::load(&path, digest_r2).is_ok());
+    assert!(matches!(
+        checkpoint::load(&path, digest_r1),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Checkpoint cadence keys on the absolute epoch: with `checkpoint_every
+/// = 2` over 4 epochs, exactly epochs 1 and 3 record a write, the file's
+/// resume point is the last boundary, and the writes are visible in the
+/// per-epoch telemetry (`checkpoint_bytes` / `checkpoint_seconds`).
+#[test]
+fn checkpoint_cadence_and_telemetry_follow_absolute_epochs() {
+    let path = ck_path("cadence");
+    let mut t = trainer();
+    let digest = checkpoint::config_digest(t.config(), 1);
+    let session = engine(2, Some((&path, 2))).run_session(&mut t, 0, 4);
+    let wrote: Vec<bool> = session
+        .epochs
+        .iter()
+        .map(|r| r.checkpoint_bytes > 0)
+        .collect();
+    assert_eq!(wrote, [false, true, false, true]);
+    for run in &session.epochs {
+        assert_eq!(
+            run.checkpoint_bytes > 0,
+            run.checkpoint_seconds > 0.0,
+            "epoch {}: bytes and seconds must agree",
+            run.epoch
+        );
+    }
+    let ck = checkpoint::load(&path, digest).expect("load");
+    assert_eq!(ck.next_epoch, 4);
+    std::fs::remove_file(&path).ok();
+}

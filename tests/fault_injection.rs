@@ -1,0 +1,376 @@
+//! Fault-injection drills: every injected fault class — worker panic,
+//! clean crash, stall, straggler — must end in either a typed error or a
+//! policy-driven recovery, never a hang, and the benign classes must not
+//! perturb the training trajectory by a single bit. All faults are
+//! deterministic (seeded coordinates, no wall-clock dependence), so every
+//! drill is reproducible.
+
+use neutronorch::core::checkpoint;
+use neutronorch::core::engine::{EngineConfig, SessionError, TrainingEngine};
+use neutronorch::core::fault::{FailureAction, FailurePolicy, FaultPlan};
+use neutronorch::core::pipeline::PipelineConfig;
+use neutronorch::core::replica::{ReplicatedConfig, ReplicatedEngine};
+use neutronorch::core::trainer::{ConvergenceTrainer, ReusePolicy, TrainerConfig};
+use neutronorch::graph::DatasetSpec;
+use neutronorch::nn::LayerKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trainer() -> ConvergenceTrainer {
+    let ds = DatasetSpec::tiny().build_full();
+    let mut cfg = TrainerConfig::convergence_default(
+        LayerKind::Gcn,
+        ReusePolicy::HotnessAware {
+            hot_ratio: 0.25,
+            super_batch: 2,
+        },
+    );
+    cfg.batch_size = 48;
+    cfg.lr = 0.4;
+    ConvergenceTrainer::new(ds, cfg)
+}
+
+/// Fault coordinates name a *worker index*; with several samplers racing
+/// on the shared claim counter, which worker claims a given step is
+/// timing-dependent, so exact-coordinate faults (panic / stall /
+/// straggler) only fire deterministically with one sampler worker. The
+/// crash fault is pre-claim (fires on any step the worker reaches), so it
+/// tolerates — and needs — a racing survivor.
+fn engine(sampler_threads: usize, faults: &str) -> TrainingEngine {
+    TrainingEngine::new(EngineConfig {
+        pipeline: PipelineConfig {
+            sampler_threads,
+            gather_threads: 1,
+            channel_depth: 3,
+            h2d_gibps: 0.0,
+        },
+        gpu_free_bytes: 64 << 20,
+        fault_plan: plan(faults),
+        stall_timeout: Duration::from_millis(300),
+        ..EngineConfig::default()
+    })
+}
+
+fn replicated(replicas: usize, faults: &str, policy: FailurePolicy) -> ReplicatedEngine {
+    ReplicatedEngine::new(ReplicatedConfig {
+        replicas,
+        fault_plan: plan(faults),
+        stall_timeout: Duration::from_millis(300),
+        on_replica_failure: policy,
+        ..ReplicatedConfig::default()
+    })
+}
+
+fn plan(faults: &str) -> Option<Arc<FaultPlan>> {
+    let plan = FaultPlan::parse(faults).expect("test fault spec");
+    (!plan.is_empty()).then(|| Arc::new(plan))
+}
+
+fn losses_of(runs: &[f32]) -> Vec<u32> {
+    runs.iter().map(|l| l.to_bits()).collect()
+}
+
+fn engine_losses(session: &neutronorch::core::engine::SessionReport) -> Vec<u32> {
+    losses_of(
+        &session
+            .epochs
+            .iter()
+            .map(|r| r.observation.train_loss)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn replicated_losses(session: &neutronorch::core::replica::ReplicatedSessionReport) -> Vec<u32> {
+    losses_of(
+        &session
+            .epochs
+            .iter()
+            .map(|r| r.observation.train_loss)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn ck_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nock-fault-{}-{tag}.ck", std::process::id()))
+}
+
+// ---------------------------------------------------------------------------
+// Single-replica engine.
+// ---------------------------------------------------------------------------
+
+/// An injected sampler panic fails the session with a typed error naming
+/// the stage and carrying the panic payload — the hang-on-panic fix: the
+/// poisoned channels unblock every stage, so this returns instead of
+/// deadlocking on `recv`.
+#[test]
+fn engine_worker_panic_is_a_typed_error_not_a_hang() {
+    let mut t = trainer();
+    let err = engine(1, "panic@r0e1s2")
+        .run_session_checked(&mut t, 0, 3)
+        .expect_err("panic must fail the session");
+    match err {
+        SessionError::WorkerPanicked { stage, message } => {
+            assert_eq!(stage, "sample");
+            assert!(
+                message.contains("injected fault"),
+                "payload should survive: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+}
+
+/// A sampler that crashes (clean pre-claim exit) is absorbed: the shared
+/// claim counter lets the surviving sampler steal its batches, the session
+/// completes bit-identically to the fault-free run, and the crash is
+/// recorded in the failure timeline.
+#[test]
+fn engine_sampler_crash_is_absorbed_bit_identically() {
+    let mut clean = trainer();
+    let reference = engine(2, "").run_session(&mut clean, 0, 3);
+
+    let mut t = trainer();
+    let session = engine(2, "crash@r1e1s0")
+        .run_session_checked(&mut t, 0, 3)
+        .expect("crash must be absorbed");
+    assert_eq!(engine_losses(&session), engine_losses(&reference));
+    let events: Vec<_> = session
+        .epochs
+        .iter()
+        .flat_map(|r| r.report.failures.iter())
+        .collect();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].replica, 1);
+    assert_eq!(events[0].epoch, 1);
+    assert_eq!(events[0].action, FailureAction::Observed);
+    assert!(events[0].detail.contains("crash"));
+}
+
+/// A stalled sampler (alive but never producing) trips the stall timeout
+/// with a typed error instead of blocking the train stage forever.
+#[test]
+fn engine_stall_is_detected_within_the_timeout() {
+    let mut t = trainer();
+    let err = engine(1, "stall@r0e0s1")
+        .run_session_checked(&mut t, 0, 2)
+        .expect_err("stall must fail the session");
+    match err {
+        SessionError::Stalled { epoch, timeout, .. } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(timeout, Duration::from_millis(300));
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+/// A straggler (transient delay) recovers on its own: the session
+/// completes bit-identically, with the slowdown visible only in the
+/// failure timeline.
+#[test]
+fn engine_straggler_completes_bit_identically() {
+    let mut clean = trainer();
+    let reference = engine(1, "").run_session(&mut clean, 0, 3);
+
+    let mut t = trainer();
+    let session = engine(1, "straggler@r0e1s0")
+        .run_session_checked(&mut t, 0, 3)
+        .expect("straggler must complete");
+    assert_eq!(engine_losses(&session), engine_losses(&reference));
+    let events: Vec<_> = session
+        .epochs
+        .iter()
+        .flat_map(|r| r.report.failures.iter())
+        .collect();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].action, FailureAction::Observed);
+    assert!(events[0].detail.contains("straggler"));
+}
+
+// ---------------------------------------------------------------------------
+// Replicated engine: supervisor + degradation policies.
+// ---------------------------------------------------------------------------
+
+/// Under the default `Fail` policy, a panicking replica worker surfaces as
+/// a typed `ReplicaDied` error carrying the panic message — detection is
+/// count-deterministic, so the reported replica is always the injected one.
+#[test]
+fn replicated_panic_under_fail_policy_is_a_typed_error() {
+    let mut t = trainer();
+    let err = replicated(2, "panic@r1e0s1", FailurePolicy::Fail)
+        .run_session_checked(&mut t, 0, 2)
+        .expect_err("panic must fail the session");
+    match err {
+        SessionError::ReplicaDied {
+            replica,
+            epoch,
+            detail,
+            ..
+        } => {
+            assert_eq!(replica, 1);
+            assert_eq!(epoch, 0);
+            assert!(detail.contains("injected fault"), "detail: {detail}");
+        }
+        other => panic!("expected ReplicaDied, got {other:?}"),
+    }
+}
+
+/// A stalled replica is detected by the supervisor's channel timeout and,
+/// under `Fail`, reported as a typed error naming the replica.
+#[test]
+fn replicated_stall_under_fail_policy_is_a_typed_error() {
+    let mut t = trainer();
+    let err = replicated(2, "stall@r0e0s0", FailurePolicy::Fail)
+        .run_session_checked(&mut t, 0, 2)
+        .expect_err("stall must fail the session");
+    match err {
+        SessionError::ReplicaDied {
+            replica, detail, ..
+        } => {
+            assert_eq!(replica, 0);
+            assert!(detail.contains("stalled"), "detail: {detail}");
+        }
+        other => panic!("expected ReplicaDied, got {other:?}"),
+    }
+}
+
+/// Under `DropReplica`, the session sheds the dead replica and finishes
+/// with the survivors: every scheduled epoch completes, the drop is in the
+/// failure timeline, and the degraded trajectory is deterministic — two
+/// identical drills produce bit-identical losses.
+#[test]
+fn replicated_crash_with_drop_policy_degrades_and_completes() {
+    let run = || {
+        let mut t = trainer();
+        let session = replicated(2, "crash@r1e1s0", FailurePolicy::DropReplica)
+            .run_session_checked(&mut t, 0, 3)
+            .expect("drop policy must complete");
+        assert_eq!(session.epochs.len(), 3);
+        let drops: Vec<_> = session
+            .epochs
+            .iter()
+            .flat_map(|r| r.report.failures.iter())
+            .filter(|e| e.action == FailureAction::DroppedReplica)
+            .cloned()
+            .collect();
+        assert_eq!(drops.len(), 1, "exactly one replica is dropped");
+        assert_eq!(drops[0].replica, 1);
+        replicated_losses(&session)
+    };
+    assert_eq!(run(), run(), "degraded trajectory must be deterministic");
+}
+
+/// Under `Restore`, a mid-epoch replica death rolls the session back to
+/// the last checkpoint and re-runs it with a replacement worker. The fault
+/// is one-shot, so the re-run epoch is clean — and because the checkpoint
+/// restore is bit-exact, the final losses equal the fault-free run's.
+#[test]
+fn replicated_panic_with_restore_policy_matches_the_fault_free_run() {
+    let mut clean = trainer();
+    let reference = ReplicatedEngine::new(ReplicatedConfig {
+        replicas: 2,
+        ..ReplicatedConfig::default()
+    })
+    .run_session(&mut clean, 0, 4);
+
+    let path = ck_path("restore");
+    let mut t = trainer();
+    let session = ReplicatedEngine::new(ReplicatedConfig {
+        replicas: 2,
+        fault_plan: plan("panic@r1e2s1"),
+        stall_timeout: Duration::from_millis(300),
+        on_replica_failure: FailurePolicy::Restore,
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.clone()),
+        ..ReplicatedConfig::default()
+    })
+    .run_session_checked(&mut t, 0, 4)
+    .expect("restore policy must recover");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(session.epochs.len(), 4);
+    assert_eq!(replicated_losses(&session), replicated_losses(&reference));
+    let restores: Vec<_> = session
+        .epochs
+        .iter()
+        .flat_map(|r| r.report.failures.iter())
+        .filter(|e| e.action == FailureAction::RestoredCheckpoint)
+        .collect();
+    assert_eq!(restores.len(), 1, "exactly one rollback");
+    assert_eq!(restores[0].epoch, 2);
+}
+
+/// `Restore` without a checkpoint on disk (death before the first
+/// boundary) degrades to a typed checkpoint error, not a hang or a panic.
+#[test]
+fn restore_policy_without_a_checkpoint_is_a_typed_error() {
+    let path = ck_path("no-checkpoint");
+    std::fs::remove_file(&path).ok();
+    let mut t = trainer();
+    let err = ReplicatedEngine::new(ReplicatedConfig {
+        replicas: 2,
+        fault_plan: plan("panic@r1e0s0"),
+        stall_timeout: Duration::from_millis(300),
+        on_replica_failure: FailurePolicy::Restore,
+        checkpoint_every: 1,
+        checkpoint_path: Some(path),
+        ..ReplicatedConfig::default()
+    })
+    .run_session_checked(&mut t, 0, 2)
+    .expect_err("no checkpoint to restore from");
+    assert!(
+        matches!(err, SessionError::Checkpoint(_)),
+        "expected Checkpoint error, got {err:?}"
+    );
+}
+
+/// A replicated straggler completes bit-identically to the fault-free run
+/// (the supervisor just waits out the delay) and is visible in the
+/// timeline.
+#[test]
+fn replicated_straggler_completes_bit_identically() {
+    let mut clean = trainer();
+    let reference = replicated(2, "", FailurePolicy::Fail).run_session(&mut clean, 0, 3);
+
+    let mut t = trainer();
+    let session = replicated(2, "straggler@r1e1s0", FailurePolicy::Fail)
+        .run_session_checked(&mut t, 0, 3)
+        .expect("straggler must complete");
+    assert_eq!(replicated_losses(&session), replicated_losses(&reference));
+    let events: Vec<_> = session
+        .epochs
+        .iter()
+        .flat_map(|r| r.report.failures.iter())
+        .collect();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].action, FailureAction::Observed);
+}
+
+/// Restored sessions keep working after the rollback: the post-restore
+/// epochs continue writing checkpoints on schedule, so a later failure
+/// could restore again. (Guards the respawn path: replacement workers and
+/// fresh channels must leave the session fully functional.)
+#[test]
+fn session_remains_functional_after_a_restore() {
+    let path = ck_path("post-restore");
+    let mut t = trainer();
+    let digest = checkpoint::config_digest(t.config(), 2);
+    let session = ReplicatedEngine::new(ReplicatedConfig {
+        replicas: 2,
+        fault_plan: plan("panic@r0e1s0"),
+        stall_timeout: Duration::from_millis(300),
+        on_replica_failure: FailurePolicy::Restore,
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.clone()),
+        ..ReplicatedConfig::default()
+    })
+    .run_session_checked(&mut t, 0, 3)
+    .expect("restore policy must recover");
+    assert_eq!(session.epochs.len(), 3);
+    // More workers than the initial pair were spawned: the replacement.
+    assert!(session.workers_spawned > 2, "replacement worker spawned");
+    // The final checkpoint on disk is the last epoch's boundary.
+    let ck = checkpoint::load(&path, digest).expect("final checkpoint");
+    assert_eq!(ck.next_epoch, 3);
+    std::fs::remove_file(&path).ok();
+}
